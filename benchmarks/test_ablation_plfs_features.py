@@ -1,0 +1,90 @@
+"""Experiment A1 — ablation: log-structure vs file partitioning.
+
+The paper's future work (§V.A) wants "to investigate the low-level
+performance effects of a log-based file system and file partitioning in
+isolation", hoping that "perhaps using just file partitioning or a
+log-based file system will provide greater performance" where full PLFS
+hurts.  The simulator exposes both switches:
+
+- *partitioning only*: per-process droppings, but written in place
+  (every write pays positioning time) — ``log_structured=False``;
+- *log-structure only*: one shared file, but written append-style
+  (no positioning time) — ``shared_sequential=True``;
+- *both* = PLFS; *neither* = plain MPI-IO.
+
+Run on the Fig. 3 workload (MPI-IO Test) on both machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Panel, render_panel
+from repro.cluster import MINERVA, SIERRA
+from repro.mpiio import LDPLFS, MPIIO, Communicator, MPIIOSimFile
+from repro.sim.stats import MB
+from repro.workloads.base import make_platform
+
+PER_PROC = 64 * MB
+BLOCK = 8 * MB
+
+VARIANTS = [
+    ("neither (MPI-IO)", MPIIO, {}),
+    ("log-structure only", MPIIO, {"shared_sequential": True}),
+    ("partitioning only", LDPLFS, {"log_structured": False}),
+    ("both (PLFS)", LDPLFS, {}),
+]
+
+
+def run_variant(machine, method, options, nodes: int, ppn: int = 1) -> float:
+    env, platform = make_platform(machine)
+    comm = Communicator(nodes, ppn)
+    steps = int(PER_PROC // BLOCK)
+    elapsed = {}
+
+    def driver():
+        f = MPIIOSimFile(platform, method, comm, name="ablate", **options)
+        t0 = env.now
+        yield from f.open_all()
+        for _ in range(steps):
+            yield from f.write_at_all(BLOCK)
+        yield from f.close_all()
+        elapsed["t"] = env.now - t0
+
+    env.run(until=env.process(driver()))
+    total = BLOCK * steps * comm.size
+    return total / MB / elapsed["t"]
+
+
+def run_ablation(machine) -> Panel:
+    panel = Panel(
+        title=f"Ablation: PLFS features in isolation, {machine.name} (write)",
+        xlabel="Nodes",
+        ylabel="Bandwidth (MB/s)",
+    )
+    for nodes in (4, 16, 64):
+        for label, method, options in VARIANTS:
+            panel.add(label, nodes, run_variant(machine, method, options, nodes))
+    return panel
+
+
+@pytest.mark.parametrize("machine", [MINERVA, SIERRA], ids=lambda m: m.name)
+def test_ablation_plfs_features(benchmark, report, machine):
+    panel = benchmark.pedantic(run_ablation, args=(machine,), rounds=1, iterations=1)
+    report(f"ablation_plfs_features_{machine.name.lower()}.txt", render_panel(panel))
+
+    at = 64
+    neither = panel.series["neither (MPI-IO)"].at(at)
+    log_only = panel.series["log-structure only"].at(at)
+    part_only = panel.series["partitioning only"].at(at)
+    both = panel.series["both (PLFS)"].at(at)
+
+    # Each feature alone helps over plain MPI-IO...
+    assert log_only > neither
+    assert part_only > neither
+    # ...and full PLFS is at least as good as either alone.
+    assert both >= 0.95 * max(log_only, part_only)
+    # Partitioning is the dominant effect at scale (it removes the
+    # shared-file serialisation entirely; log-structure only removes
+    # positioning costs).
+    assert part_only > log_only

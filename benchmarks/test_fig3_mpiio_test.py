@@ -1,0 +1,94 @@
+"""Experiment F3 — Fig. 3: MPI-IO Test bandwidths on Minerva.
+
+Six panels: write and read, at 1/2/4 processes per node, over 1..64
+nodes, for the four access routes (MPI-IO, FUSE, ROMIO, LDPLFS).  The
+paper writes 1 GB per process in 8 MB blocks with collective buffering;
+the default here scales the per-process volume down (same block size,
+fewer blocks — the steady-state bandwidth is volume-insensitive) so the
+84-configuration sweep finishes in minutes.  ``LDPLFS_BENCH_FULL=1``
+restores 1 GB per process.
+
+Expected shape (paper §III.C):
+- LDPLFS ≈ ROMIO, both ≈ 2x plain MPI-IO on writes at scale;
+- FUSE below both PLFS routes (up to 2x) and ~20% below plain MPI-IO;
+- reads behave like writes, PLFS routes ~2x MPI-IO.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Panel,
+    check_ratio_at,
+    render_panel,
+    summarise,
+)
+from repro.cluster import MINERVA
+from repro.mpiio import ALL_METHODS
+from repro.sim.stats import GB, MB
+from repro.workloads import run_mpiio_test
+
+from .conftest import FULL_SCALE
+
+NODE_SWEEP = [1, 2, 4, 8, 16, 32, 64]
+PER_PROC = 1 * GB if FULL_SCALE else 64 * MB
+
+
+def run_panels(ppn: int) -> tuple[Panel, Panel]:
+    write = Panel(
+        title=f"Fig. 3 Write ({ppn} Proc/Node), Minerva",
+        xlabel="Nodes",
+        ylabel="Bandwidth (MB/s)",
+    )
+    read = Panel(
+        title=f"Fig. 3 Read ({ppn} Proc/Node), Minerva",
+        xlabel="Nodes",
+        ylabel="Bandwidth (MB/s)",
+    )
+    for nodes in NODE_SWEEP:
+        for method in ALL_METHODS:
+            result = run_mpiio_test(
+                MINERVA, method, nodes, ppn, per_proc=PER_PROC
+            )
+            write.add(method.name, nodes, result.write_bandwidth)
+            read.add(method.name, nodes, result.read_bandwidth)
+    return write, read
+
+
+@pytest.mark.parametrize("ppn", [1, 2, 4])
+def test_fig3_mpiio_test(benchmark, report, ppn):
+    write, read = benchmark.pedantic(run_panels, args=(ppn,), rounds=1, iterations=1)
+
+    checks = [
+        check_ratio_at(
+            write, "LDPLFS", "MPI-IO", 64, at_least=1.6,
+            claim="PLFS ~2x plain MPI-IO on writes at scale",
+        ),
+        check_ratio_at(
+            write, "LDPLFS", "ROMIO", 64, at_least=0.95, at_most=1.1,
+            claim="LDPLFS nearly identical to the ROMIO driver",
+        ),
+        check_ratio_at(
+            write, "FUSE", "MPI-IO", 64, at_most=1.0,
+            claim="FUSE below plain MPI-IO on parallel writes",
+        ),
+        check_ratio_at(
+            write, "FUSE", "LDPLFS", 64, at_most=0.7,
+            claim="FUSE well below the other PLFS routes (up to 2x)",
+        ),
+        check_ratio_at(
+            read, "LDPLFS", "MPI-IO", 64, at_least=1.6,
+            claim="PLFS read-back ~2x plain MPI-IO",
+        ),
+        check_ratio_at(
+            read, "LDPLFS", "ROMIO", 64, at_least=0.9, at_most=1.15,
+            claim="LDPLFS read ≈ ROMIO read",
+        ),
+    ]
+    text = "\n\n".join(
+        [render_panel(write), render_panel(read), summarise(checks)]
+    )
+    report(f"fig3_mpiio_test_ppn{ppn}.txt", text)
+    failed = [c for c in checks if not c.holds]
+    assert not failed, "shape checks failed:\n" + "\n".join(map(str, failed))

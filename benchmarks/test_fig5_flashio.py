@@ -1,0 +1,141 @@
+"""Experiment F5 — Fig. 5: FLASH-IO checkpoint bandwidths on Sierra.
+
+Weak scaled at 12 processes per node over 1..256 nodes (12..3,072 cores);
+each process writes ~205 MB through HDF5-style independent writes.
+Methods: MPI-IO, ROMIO, LDPLFS.
+
+Expected shape (paper §IV): plain MPI-IO creeps up to ~550 MB/s; the PLFS
+routes rise sharply to a peak around 16 nodes (~1,650 MB/s in the paper)
+and then *collapse* — to ~210 MB/s at 3,072 cores, below plain MPI-IO —
+because every process's pair of dropping creates funnels through Lustre's
+single dedicated MDS.  This is the paper's headline negative result:
+"PLFS can harm an application's performance at scale".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    Panel,
+    check_collapse,
+    check_peak_location,
+    check_ratio_at,
+    render_ascii_chart,
+    render_panel,
+    summarise,
+)
+from repro.cluster import SIERRA
+from repro.mpiio import LDPLFS, MPIIO, ROMIO
+from repro.workloads import FLASHIO_NODE_SWEEP, run_flashio
+
+METHODS = [MPIIO, ROMIO, LDPLFS]
+
+
+def run_panel() -> Panel:
+    panel = Panel(
+        title="Fig. 5 FLASH-IO, Sierra (weak scaled, 12 ppn)",
+        xlabel="Cores",
+        ylabel="Bandwidth (MB/s)",
+    )
+    mds_ops = Panel(
+        title="MDS load", xlabel="Cores", ylabel="metadata ops"
+    )
+    for nodes in FLASHIO_NODE_SWEEP:
+        for method in METHODS:
+            result = run_flashio(SIERRA, method, nodes)
+            panel.add(method.name, nodes * 12, result.write_bandwidth)
+            mds_ops.add(method.name, nodes * 12, result.mds_ops)
+    panel.series_for("_mds_ops_ldplfs").points = mds_ops.series["LDPLFS"].points
+    return panel
+
+
+def test_fig5_flashio(benchmark, report):
+    panel = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    mds_series = panel.series.pop("_mds_ops_ldplfs")
+
+    checks = [
+        check_peak_location(
+            panel, "LDPLFS", between=(96, 384),
+            claim="PLFS peaks around 16 nodes (192 cores)",
+        ),
+        check_collapse(
+            panel, "LDPLFS", from_peak_factor=4.0,
+            claim="PLFS collapses at scale (MDS bottleneck)",
+        ),
+        check_ratio_at(
+            panel, "LDPLFS", "MPI-IO", 3072, at_most=1.0,
+            claim="PLFS ends BELOW plain MPI-IO at 3,072 cores",
+        ),
+        check_ratio_at(
+            panel, "LDPLFS", "MPI-IO", 192, at_least=2.0,
+            claim="PLFS ~3x MPI-IO at its peak",
+        ),
+        check_ratio_at(
+            panel, "LDPLFS", "ROMIO", 3072, at_least=0.9, at_most=1.1,
+            claim="LDPLFS ≈ ROMIO throughout",
+        ),
+    ]
+    text = "\n\n".join(
+        [
+            render_panel(panel),
+            render_ascii_chart(panel, symbol_map={"MPI-IO": "m", "ROMIO": "r", "LDPLFS": "L"}),
+            summarise(checks),
+        ]
+    )
+    report("fig5_flashio.txt", text)
+    failed = [c for c in checks if not c.holds]
+    assert not failed, "\n".join(map(str, failed))
+
+    # The mechanism: PLFS metadata traffic scales with ranks (droppings
+    # per process), so the MDS op count at 3,072 cores dwarfs the 12-core
+    # count.
+    assert mds_series.at(3072) > 50 * mds_series.at(12)
+    assert mds_series.at(3072) > 10000
+
+
+def test_fig5_gpfs_contrast(benchmark, report):
+    """The paper's closing observation for Fig. 5: "On a file system like
+    GPFS, where metadata is distributed, these performance decreases may
+    not materialise."  To isolate the metadata architecture we keep
+    Sierra's data plane and replace only the metadata service: one
+    thrash-prone dedicated MDS (Lustre) vs metadata distributed over the
+    24 I/O servers (GPFS-style).  The distributed variant must keep PLFS
+    above MPI-IO at every scale."""
+    gpfs_style = SIERRA.with_perf(
+        mds_count=SIERRA.io_servers, mds_contention=0.0, mds_linear=0.0005
+    )
+
+    def run():
+        panel = Panel(
+            title="FLASH-IO on Sierra's data plane: dedicated vs distributed metadata",
+            xlabel="Cores",
+            ylabel="Bandwidth (MB/s)",
+        )
+        for nodes in (4, 16, 64, 128, 256):
+            for label, machine in (
+                ("dedicated MDS", SIERRA),
+                ("distributed MDS", gpfs_style),
+            ):
+                result = run_flashio(machine, LDPLFS, nodes)
+                panel.add(label, nodes * 12, result.write_bandwidth)
+            panel.add(
+                "MPI-IO", nodes * 12, run_flashio(SIERRA, MPIIO, nodes).write_bandwidth
+            )
+        return panel
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig5_gpfs_contrast.txt", render_panel(panel))
+
+    # Dedicated MDS: collapses below the baseline (Fig. 5).
+    assert panel.ratio("dedicated MDS", "MPI-IO", 3072) < 1.0
+    # Distributed metadata: "decreases may not materialise" — PLFS stays
+    # above MPI-IO at every measured scale...
+    for cores in (48, 192, 768, 3072):
+        assert panel.ratio("distributed MDS", "MPI-IO", cores) > 1.0
+    # ...and any tail-off (stream interleaving on the arrays) is mild
+    # next to the dedicated-MDS cliff.
+    def drop(label: str) -> float:
+        series = panel.series[label]
+        return series.peak[1] / series.ys()[-1]
+
+    assert drop("dedicated MDS") > 4.0
+    assert drop("distributed MDS") < 2.5

@@ -1,0 +1,97 @@
+"""Experiment M1 — validating the analytic model against the simulator.
+
+The paper's §V.A goal: "model the performance of our implementation in
+order to aid auto-optimisation of parameters, as well as assess the
+benefits of PLFS on future I/O backplanes without requiring extensive
+benchmarking".  Here the closed-form model (``repro.model``) is checked
+against the discrete-event simulator over the F3 and F5 grids, and the
+auto-tuner's recommendation is verified to flip from a PLFS route to
+plain MPI-IO exactly in the collapse regime.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cluster import MINERVA, SIERRA
+from repro.model import WorkloadPattern, choose_method, predict_write
+from repro.mpiio import LDPLFS, MPIIO
+from repro.sim.stats import MB
+from repro.workloads import run_flashio, run_mpiio_test
+
+TOLERANCE = 0.5  # |model - sim| / sim
+
+
+def flash_pattern(nodes: int) -> WorkloadPattern:
+    ranks = nodes * 12
+    return WorkloadPattern(
+        nodes=nodes, writers=ranks, openers=ranks,
+        total_bytes=205 * MB * ranks, write_size=205 * MB / 24,
+        collective=False,
+    )
+
+
+def mpiio_pattern(nodes: int, per_proc: float) -> WorkloadPattern:
+    return WorkloadPattern(
+        nodes=nodes, writers=nodes, openers=nodes,
+        total_bytes=per_proc * nodes, write_size=8 * MB,
+        collective=True,
+    )
+
+
+def run_validation() -> tuple[str, list[tuple[str, float, float]]]:
+    rows: list[tuple[str, float, float]] = []
+
+    per_proc = 64 * MB
+    for nodes in (4, 16, 64):
+        for method in (MPIIO, LDPLFS):
+            sim = run_mpiio_test(
+                MINERVA, method, nodes, 1, per_proc=per_proc, read_back=False
+            ).write_bandwidth
+            model = predict_write(
+                MINERVA, method, mpiio_pattern(nodes, per_proc)
+            ).bandwidth_mbps
+            rows.append((f"F3 {method.name} @{nodes}n", sim, model))
+
+    for nodes in (8, 64, 256):
+        for method in (MPIIO, LDPLFS):
+            sim = run_flashio(SIERRA, method, nodes).write_bandwidth
+            model = predict_write(
+                SIERRA, method, flash_pattern(nodes)
+            ).bandwidth_mbps
+            rows.append((f"F5 {method.name} @{nodes * 12}c", sim, model))
+
+    table = render_table(
+        ["configuration", "simulator (MB/s)", "model (MB/s)", "error"],
+        [
+            [name, f"{sim:.0f}", f"{model:.0f}", f"{(model - sim) / sim:+.0%}"]
+            for name, sim, model in rows
+        ],
+        title="M1: analytic model vs discrete-event simulator",
+    )
+    return table, rows
+
+
+def test_model_tracks_simulator(benchmark, report):
+    table, rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    report("model_validation.txt", table)
+    for name, sim, model in rows:
+        err = abs(model - sim) / sim
+        assert err <= TOLERANCE, f"{name}: model off by {err:.0%}"
+
+
+def test_autotuner_flips_in_collapse_regime(benchmark, report):
+    def run():
+        lines = []
+        picks = {}
+        for nodes in (8, 32, 256):
+            rec = choose_method(SIERRA, flash_pattern(nodes))
+            picks[nodes] = rec
+            lines.append(f"{nodes * 12:5d} cores -> {rec.method.name}: {rec.explanation}")
+        return picks, "\n".join(lines)
+
+    picks, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("model_autotune.txt", text)
+    assert picks[8].method.uses_plfs and picks[8].plfs_helps
+    assert picks[32].method.uses_plfs
+    assert picks[256].method.name == "MPI-IO"
+    assert not picks[256].plfs_helps

@@ -1,0 +1,42 @@
+"""Experiment T1 — Table I: the benchmarking platforms.
+
+Regenerates the paper's platform-summary table from the machine models
+that drive every simulated experiment, so the inventory used here is
+auditable against the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cluster import MINERVA, SIERRA, table1_rows
+
+
+def build_table() -> str:
+    rows = [[field, minerva, sierra] for field, minerva, sierra in table1_rows()]
+    return render_table(
+        ["", "Minerva", "Sierra"],
+        rows,
+        title="Table I: Benchmarking platforms used in this study",
+    )
+
+
+def test_table1_platforms(benchmark, report):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report("table1_platforms.txt", text)
+
+    # The rendered table must carry the paper's headline facts.
+    for fact in (
+        "Intel Xeon 5650",
+        "Intel Xeon 5660",
+        "258",
+        "1,849",
+        "GPFS",
+        "Lustre",
+        "~4 GB/s",
+        "~30 GB/s",
+        "3600",
+        "7,200 RPM",
+        "15,000 RPM",
+    ):
+        assert fact in text, f"Table I is missing {fact!r}"
+    assert MINERVA.io_servers == 2 and SIERRA.io_servers == 24

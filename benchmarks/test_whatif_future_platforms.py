@@ -1,0 +1,106 @@
+"""Experiment W1 — what-if: PLFS on future I/O backplanes (paper §V.A).
+
+"...as well as assess the benefits of PLFS on future I/O backplanes
+without requiring extensive benchmarking.  We hope to use our performance
+model to highlight systems where PLFS may have a negative effect on
+performance."
+
+Three hypothetical evolutions of Sierra, each run through BOTH the
+simulator and the analytic model on the FLASH-IO pattern:
+
+- *flash storage*: no positioning time and 4x server bandwidth — the
+  log-structured write benefit should shrink (seeks were half the win);
+- *beefy MDS*: 10x metadata service with no thrash — the Fig. 5 collapse
+  should disappear;
+- *both*: PLFS should keep a (reduced) partitioning benefit everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Panel, render_panel
+from repro.cluster import SIERRA
+from repro.model import WorkloadPattern, predict_write
+from repro.mpiio import LDPLFS, MPIIO
+from repro.sim.stats import MB
+from repro.workloads import run_flashio
+
+FUTURES = {
+    "Sierra (2011)": SIERRA,
+    "flash storage": SIERRA.with_perf(
+        seek_time=0.0, server_bandwidth=320 * MB, stream_interleave_factor=0.0
+    ),
+    "beefy MDS": SIERRA.with_perf(
+        mds_base_service=0.03e-3, mds_contention=0.0, mds_linear=0.0
+    ),
+    "flash + beefy MDS": SIERRA.with_perf(
+        seek_time=0.0,
+        server_bandwidth=320 * MB,
+        stream_interleave_factor=0.0,
+        mds_base_service=0.03e-3,
+        mds_contention=0.0,
+        mds_linear=0.0,
+    ),
+}
+
+NODE_POINTS = [8, 64, 256]
+
+
+def flash_pattern(nodes: int) -> WorkloadPattern:
+    ranks = nodes * 12
+    return WorkloadPattern(
+        nodes=nodes, writers=ranks, openers=ranks,
+        total_bytes=205 * MB * ranks, write_size=205 * MB / 24,
+        collective=False,
+    )
+
+
+def run_whatif() -> dict[str, Panel]:
+    panels: dict[str, Panel] = {}
+    for name, machine in FUTURES.items():
+        panel = Panel(
+            title=f"What-if: FLASH-IO on '{name}'",
+            xlabel="Cores",
+            ylabel="Write bandwidth (MB/s)",
+        )
+        for nodes in NODE_POINTS:
+            for method in (MPIIO, LDPLFS):
+                sim = run_flashio(machine, method, nodes).write_bandwidth
+                panel.add(method.name, nodes * 12, sim)
+            model = predict_write(machine, LDPLFS, flash_pattern(nodes))
+            panel.add("LDPLFS (model)", nodes * 12, model.bandwidth_mbps)
+        panels[name] = panel
+    return panels
+
+
+def test_whatif_future_platforms(benchmark, report):
+    panels = benchmark.pedantic(run_whatif, rounds=1, iterations=1)
+    text = "\n\n".join(render_panel(p) for p in panels.values())
+    report("whatif_future_platforms.txt", text)
+
+    today = panels["Sierra (2011)"]
+    flash = panels["flash storage"]
+    mds = panels["beefy MDS"]
+    both = panels["flash + beefy MDS"]
+
+    # 1. On flash storage the PLFS/MPI-IO ratio shrinks at moderate scale
+    #    (no seeks left to save), though partitioning still helps.
+    ratio_today = today.ratio("LDPLFS", "MPI-IO", 96)
+    ratio_flash = flash.ratio("LDPLFS", "MPI-IO", 96)
+    assert ratio_flash < ratio_today
+
+    # 2. A beefy MDS removes the collapse: PLFS stays above MPI-IO at
+    #    3,072 cores instead of falling below it.
+    assert today.ratio("LDPLFS", "MPI-IO", 3072) < 1.0
+    assert mds.ratio("LDPLFS", "MPI-IO", 3072) > 1.5
+
+    # 3. With both, PLFS helps everywhere (no negative-effect regime).
+    for cores in (96, 768, 3072):
+        assert both.ratio("LDPLFS", "MPI-IO", cores) > 1.0
+
+    # 4. The analytic model agrees with the simulator on every future
+    #    platform (the "without extensive benchmarking" promise).
+    for name, panel in panels.items():
+        for cores in (96, 768, 3072):
+            sim = panel.series["LDPLFS"].at(cores)
+            model = panel.series["LDPLFS (model)"].at(cores)
+            assert abs(model - sim) / sim < 0.5, (name, cores, sim, model)

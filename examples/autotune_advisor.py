@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Auto-tuning advisor: should this job use PLFS?  (paper §V.A)
+
+Uses the analytic performance model to answer, in microseconds, the
+question the paper wants answered without "extensive benchmarking": for
+a given machine and I/O pattern, which access route will be fastest —
+and at what scale does PLFS flip from a win to a loss?
+
+Run:  python examples/autotune_advisor.py
+"""
+
+from repro.analysis import render_table
+from repro.cluster import MINERVA, SIERRA
+from repro.model import WorkloadPattern, choose_method, mds_safe_writer_limit
+from repro.sim.stats import GB, MB
+
+
+def checkpoint_pattern(machine, nodes: int, per_proc=205 * MB) -> WorkloadPattern:
+    """A FLASH-style independent checkpoint on *nodes* full nodes."""
+    ranks = nodes * machine.cores_per_node
+    return WorkloadPattern(
+        nodes=nodes,
+        writers=ranks,
+        openers=ranks,
+        total_bytes=per_proc * ranks,
+        write_size=per_proc / 24,
+        collective=False,
+    )
+
+
+def advise(machine, nodes: int) -> list[str]:
+    rec = choose_method(machine, checkpoint_pattern(machine, nodes))
+    row = [
+        machine.name,
+        str(nodes * machine.cores_per_node),
+        rec.method.name,
+        f"{rec.predictions[rec.method.name].bandwidth_mbps:.0f}",
+        f"{rec.speedup_vs_mpiio:.1f}x",
+        rec.predictions["LDPLFS"].bottleneck,
+    ]
+    return row
+
+
+def main() -> None:
+    rows = []
+    for machine in (MINERVA, SIERRA):
+        for nodes in (4, 16, 64, 128):
+            if nodes <= machine.nodes:
+                rows.append(advise(machine, nodes))
+    rows.append(advise(SIERRA, 256))
+    print(
+        render_table(
+            ["machine", "cores", "pick", "MB/s", "vs MPI-IO", "LDPLFS bottleneck"],
+            rows,
+            title="Checkpoint I/O advisor (205 MB/process, independent writes)",
+        )
+    )
+    print()
+
+    pattern = checkpoint_pattern(SIERRA, 8)
+    limit = mds_safe_writer_limit(SIERRA, pattern)
+    print(
+        f"On {SIERRA.name}, PLFS stops paying off beyond ~{limit} writers "
+        "for this pattern (dedicated-MDS create storm).  Schedule bigger "
+        "jobs with plain MPI-IO, or raise the metadata budget."
+    )
+
+    rec = choose_method(SIERRA, checkpoint_pattern(SIERRA, 256))
+    print()
+    print("At 3,072 cores the advisor says:")
+    print(f"  -> {rec.method.name}: {rec.explanation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Checkpoint/restart through the preload path — the FLASH-IO scenario.
+
+Demonstrates the full ``LD_PRELOAD`` analogue: *worker subprocesses that
+import nothing from this library's core* are launched with
+``LDPLFS_PRELOAD=1``; the environment alone retargets their POSIX I/O to
+a shared PLFS container, one writer per process — exactly how an MPI code
+checkpoints through LDPLFS with N processes writing one logical file.
+
+Afterwards the parent verifies the checkpoint byte-for-byte, restarts
+from it, and shows the container holds one data dropping per writer
+(the paper's Fig. 1 structure).
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import plfs
+from repro.core import config
+
+RANKS = 4
+BLOCK_DOUBLES = 4096  # per-rank slab: 32 KB of float64 state
+
+WORKER = """
+import os, sys
+import numpy as np
+import repro.core.preload  # activates from LDPLFS_PRELOAD / LDPLFS_MOUNTS
+
+rank = int(sys.argv[1])
+n = int(sys.argv[2])
+mount = sys.argv[3]
+
+state = np.sin(np.arange(n, dtype=np.float64) + rank)  # "simulation" state
+fd = os.open(f"{mount}/checkpoint.chk", os.O_CREAT | os.O_WRONLY)
+os.lseek(fd, rank * state.nbytes, os.SEEK_SET)
+os.write(fd, state.tobytes())
+os.close(fd)
+print(f"rank {rank}: wrote {state.nbytes} bytes at offset {rank * state.nbytes}")
+"""
+
+
+def main() -> None:
+    backend = tempfile.mkdtemp(prefix="plfs-ckpt-backend-")
+    mount = os.path.join(tempfile.gettempdir(), "plfs-ckpt-mnt")
+
+    env = dict(os.environ)
+    env[config.ENV_PRELOAD] = "1"
+    env[config.ENV_MOUNTS] = f"{mount}:{backend}"
+
+    # --- checkpoint: N unmodified workers write one logical file --------
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WORKER, str(rank), str(BLOCK_DOUBLES), mount],
+            env=env,
+        )
+        for rank in range(RANKS)
+    ]
+    for p in procs:
+        assert p.wait() == 0
+
+    container = os.path.join(backend, "checkpoint.chk")
+    droppings = plfs.Container(container).droppings()
+    print(f"\ncontainer has {len(droppings)} data droppings "
+          f"(one per writing process)")
+    st = plfs.plfs_getattr(container)
+    expected = RANKS * BLOCK_DOUBLES * 8
+    print(f"logical checkpoint size: {st.st_size} bytes (expected {expected})")
+    assert st.st_size == expected
+
+    # --- restart: read the checkpoint back through the PLFS API ---------
+    fd = plfs.plfs_open(container, os.O_RDONLY)
+    restored = np.frombuffer(
+        plfs.plfs_read(fd, expected, 0), dtype=np.float64
+    ).reshape(RANKS, BLOCK_DOUBLES)
+    plfs.plfs_close(fd)
+
+    for rank in range(RANKS):
+        reference = np.sin(np.arange(BLOCK_DOUBLES, dtype=np.float64) + rank)
+        assert np.array_equal(restored[rank], reference), f"rank {rank} corrupt"
+    print("restart verified: every rank's slab restored bit-exact.")
+
+    # --- maintenance: compact the log ------------------------------------
+    physical = plfs.Container(container).physical_bytes()
+    plfs.plfs_flatten_index(container)
+    print(f"flattened container: {physical} -> "
+          f"{plfs.Container(container).physical_bytes()} physical bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""``repro.analysis`` — result series, table rendering, shape checks."""
+
+from .compare import (
+    ShapeCheck,
+    check_collapse,
+    check_monotone_rise,
+    check_peak_location,
+    check_ratio_at,
+    summarise,
+)
+from .export import (
+    panel_from_dict,
+    panel_from_json,
+    panel_to_csv,
+    panel_to_dict,
+    panel_to_json,
+)
+from .results import Panel, Series
+from .tables import render_ascii_chart, render_panel, render_table
+
+__all__ = [
+    "Series",
+    "Panel",
+    "render_table",
+    "render_panel",
+    "render_ascii_chart",
+    "ShapeCheck",
+    "check_ratio_at",
+    "check_peak_location",
+    "check_collapse",
+    "check_monotone_rise",
+    "summarise",
+    "panel_to_csv",
+    "panel_to_dict",
+    "panel_to_json",
+    "panel_from_dict",
+    "panel_from_json",
+]

@@ -1,0 +1,114 @@
+"""Paper-vs-measured shape checks.
+
+The reproduction target is the *shape* of each figure — who wins, by
+roughly what factor, where crossovers fall — not absolute numbers (the
+substrate is a simulator, not the authors' testbed).  These helpers turn
+a measured :class:`~repro.analysis.results.Panel` into pass/fail shape
+assertions and a human-readable summary used by EXPERIMENTS.md and the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .results import Panel
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper and whether we reproduce it."""
+
+    claim: str
+    holds: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.holds else "MISS"
+        return f"[{mark}] {self.claim}: {self.detail}"
+
+
+def check_ratio_at(
+    panel: Panel,
+    numerator: str,
+    denominator: str,
+    x: float,
+    *,
+    at_least: float | None = None,
+    at_most: float | None = None,
+    claim: str,
+) -> ShapeCheck:
+    ratio = panel.ratio(numerator, denominator, x)
+    holds = True
+    if at_least is not None:
+        holds = holds and ratio >= at_least
+    if at_most is not None:
+        holds = holds and ratio <= at_most
+    return ShapeCheck(
+        claim=claim,
+        holds=holds,
+        detail=f"{numerator}/{denominator} at {panel.xlabel}={x:g} is {ratio:.2f}",
+    )
+
+
+def check_peak_location(
+    panel: Panel,
+    label: str,
+    *,
+    between: tuple[float, float],
+    claim: str,
+) -> ShapeCheck:
+    x, y = panel.series[label].peak
+    lo, hi = between
+    return ShapeCheck(
+        claim=claim,
+        holds=lo <= x <= hi,
+        detail=f"{label} peaks at {panel.xlabel}={x:g} ({y:.0f})",
+    )
+
+
+def check_collapse(
+    panel: Panel,
+    label: str,
+    *,
+    from_peak_factor: float,
+    claim: str,
+) -> ShapeCheck:
+    """The curve's last point must be at least *from_peak_factor* below
+    its peak (e.g. 4.0 = final value under a quarter of the peak)."""
+    series = panel.series[label]
+    _, peak = series.peak
+    final = series.ys()[-1]
+    ratio = peak / final if final > 0 else float("inf")
+    return ShapeCheck(
+        claim=claim,
+        holds=ratio >= from_peak_factor,
+        detail=f"{label} peak {peak:.0f} vs final {final:.0f} ({ratio:.1f}x drop)",
+    )
+
+
+def check_monotone_rise(
+    panel: Panel, label: str, *, through: float, claim: str, tolerance: float = 0.05
+) -> ShapeCheck:
+    """The curve must be (near-)monotonically rising up to x=through."""
+    series = panel.series[label]
+    prev = None
+    holds = True
+    for x, y in series.points:
+        if x > through:
+            break
+        if prev is not None and y < prev * (1 - tolerance):
+            holds = False
+        prev = y
+    return ShapeCheck(
+        claim=claim,
+        holds=holds,
+        detail=f"{label} over {panel.xlabel} <= {through:g}",
+    )
+
+
+def summarise(checks: list[ShapeCheck]) -> str:
+    lines = [str(c) for c in checks]
+    passed = sum(c.holds for c in checks)
+    lines.append(f"{passed}/{len(checks)} shape checks hold")
+    return "\n".join(lines)

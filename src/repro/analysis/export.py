@@ -1,0 +1,56 @@
+"""Exporting result panels for external plotting (CSV / JSON)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .results import Panel
+
+
+def panel_to_csv(panel: Panel) -> str:
+    """One row per x value, one column per series; empty cell = no point."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    labels = list(panel.series)
+    writer.writerow([panel.xlabel] + labels)
+    for x in panel.xs():
+        row: list = [x]
+        for label in labels:
+            try:
+                row.append(panel.series[label].at(x))
+            except KeyError:
+                row.append("")
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def panel_to_dict(panel: Panel) -> dict:
+    return {
+        "title": panel.title,
+        "xlabel": panel.xlabel,
+        "ylabel": panel.ylabel,
+        "series": {
+            label: {"x": s.xs(), "y": s.ys()} for label, s in panel.series.items()
+        },
+    }
+
+
+def panel_to_json(panel: Panel, *, indent: int = 2) -> str:
+    return json.dumps(panel_to_dict(panel), indent=indent)
+
+
+def panel_from_dict(data: dict) -> Panel:
+    """Inverse of :func:`panel_to_dict` (round-trip for archival)."""
+    panel = Panel(
+        title=data["title"], xlabel=data["xlabel"], ylabel=data["ylabel"]
+    )
+    for label, points in data["series"].items():
+        for x, y in zip(points["x"], points["y"]):
+            panel.add(label, x, y)
+    return panel
+
+
+def panel_from_json(text: str) -> Panel:
+    return panel_from_dict(json.loads(text))

@@ -1,0 +1,64 @@
+"""Containers for benchmark series (one per figure panel)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One curve: method name → points of (x, y)."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+    @property
+    def peak(self) -> tuple[float, float]:
+        """(x, y) of the maximum y."""
+        return max(self.points, key=lambda p: p[1])
+
+
+@dataclass
+class Panel:
+    """One figure panel: several series over a shared x axis."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: dict[str, Series] = field(default_factory=dict)
+
+    def series_for(self, label: str) -> Series:
+        s = self.series.get(label)
+        if s is None:
+            s = Series(label)
+            self.series[label] = s
+        return s
+
+    def add(self, label: str, x: float, y: float) -> None:
+        self.series_for(label).add(x, y)
+
+    def xs(self) -> list[float]:
+        xs: list[float] = []
+        for s in self.series.values():
+            for x in s.xs():
+                if x not in xs:
+                    xs.append(x)
+        return sorted(xs)
+
+    def ratio(self, numerator: str, denominator: str, x: float) -> float:
+        return self.series[numerator].at(x) / self.series[denominator].at(x)

@@ -1,0 +1,71 @@
+"""ASCII rendering of the paper's tables and figure panels.
+
+The benchmarks print these so a run of ``pytest benchmarks/`` regenerates
+the same rows/series the paper reports, directly comparable by eye.
+"""
+
+from __future__ import annotations
+
+from .results import Panel
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], *, title: str = ""
+) -> str:
+    """Simple fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_panel(panel: Panel, *, fmt: str = "{:.1f}") -> str:
+    """A figure panel as a table: one row per x, one column per series."""
+    labels = list(panel.series)
+    headers = [panel.xlabel] + labels
+    rows = []
+    for x in panel.xs():
+        row = [f"{x:g}"]
+        for label in labels:
+            try:
+                row.append(fmt.format(panel.series[label].at(x)))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    title = f"{panel.title}  [{panel.ylabel}]"
+    return render_table(headers, rows, title=title)
+
+
+def render_ascii_chart(
+    panel: Panel, *, width: int = 60, symbol_map: dict[str, str] | None = None
+) -> str:
+    """A rough horizontal bar view of a panel (one block per x value)."""
+    labels = list(panel.series)
+    symbols = symbol_map or {
+        label: label[0] for label in labels
+    }
+    ymax = max((max(s.ys(), default=0.0) for s in panel.series.values()), default=0.0)
+    if ymax <= 0:
+        return f"{panel.title}: (no data)"
+    lines = [f"{panel.title}  [{panel.ylabel}, full bar = {ymax:.0f}]"]
+    for x in panel.xs():
+        lines.append(f"  {panel.xlabel} = {x:g}")
+        for label in labels:
+            try:
+                y = panel.series[label].at(x)
+            except KeyError:
+                continue
+            bar = symbols[label] * max(1, int(round(y / ymax * width)))
+            lines.append(f"    {label:>7s} |{bar} {y:.0f}")
+    return "\n".join(lines)

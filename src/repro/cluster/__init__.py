@@ -1,0 +1,31 @@
+"""``repro.cluster`` — simulated HPC platform hardware.
+
+Machine inventories (Table I of the paper) and the queueing-network runtime
+built from them: I/O servers with seek-aware arrays, a metadata service,
+per-node NICs and per-process write-back caches.
+"""
+
+from .machine import (
+    MACHINES,
+    MINERVA,
+    SIERRA,
+    DiskArraySpec,
+    MachineSpec,
+    PerfParams,
+    table1_rows,
+)
+from .platform import MetadataService, Platform, Server, WriteBackCache
+
+__all__ = [
+    "MachineSpec",
+    "DiskArraySpec",
+    "PerfParams",
+    "MINERVA",
+    "SIERRA",
+    "MACHINES",
+    "table1_rows",
+    "Platform",
+    "Server",
+    "MetadataService",
+    "WriteBackCache",
+]

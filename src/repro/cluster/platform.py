@@ -1,0 +1,287 @@
+"""Runtime hardware model: one :class:`Platform` per simulation run.
+
+Instantiates the queueing network a :class:`~repro.cluster.machine.MachineSpec`
+describes: per-node NICs and client file-system daemons, I/O servers with
+seek-aware disk arrays, a metadata service (dedicated or distributed) whose
+service time degrades under queueing, and per-process write-back caches.
+
+All times are seconds, all sizes bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator
+
+from repro.sim.engine import Environment
+from repro.sim.resources import BandwidthPipe, Resource, Tank
+from repro.sim.stats import OpCounter
+
+from .machine import MachineSpec, PerfParams
+
+
+class Server:
+    """One I/O server (GPFS NSD server / Lustre OSS) and its disk array.
+
+    The array is modelled as ``server_concurrency`` channels over a shared
+    sustained bandwidth.  Interleaving many concurrent streams on one array
+    costs positioning time, captured by an efficiency factor
+    ``1 / (1 + k * open_streams)`` applied to sequential transfers — this is
+    what keeps PLFS's many-dropping layout from scaling for free.
+    """
+
+    def __init__(self, env: Environment, perf: PerfParams, sid: int):
+        self.env = env
+        self.perf = perf
+        self.sid = sid
+        self.channel = Resource(env, perf.server_concurrency)
+        #: streams (droppings / shared-file lanes) currently open here
+        self.open_streams = 0
+        self.bytes_serviced = 0.0
+        self.ops_serviced = 0
+
+    # ------------------------------------------------------------------ #
+
+    def stream_opened(self) -> None:
+        self.open_streams += 1
+
+    def stream_closed(self) -> None:
+        self.open_streams = max(0, self.open_streams - 1)
+
+    def effective_bandwidth(self) -> float:
+        perf = self.perf
+        share = perf.server_bandwidth / perf.server_concurrency
+        return share / (1.0 + perf.stream_interleave_factor * self.open_streams)
+
+    def service_time(self, nbytes: float, *, sequential: bool) -> float:
+        t = self.perf.server_op_overhead + nbytes / self.effective_bandwidth()
+        if not sequential:
+            t += self.perf.seek_time
+        return t
+
+    def io(self, nbytes: float, *, sequential: bool) -> Generator:
+        """Process: one request against this server's array."""
+        yield self.channel.request()
+        try:
+            yield self.env.timeout(self.service_time(nbytes, sequential=sequential))
+        finally:
+            self.channel.release()
+        self.bytes_serviced += nbytes
+        self.ops_serviced += 1
+
+
+class MetadataService:
+    """The metadata path: Lustre's dedicated MDS or GPFS's distributed one.
+
+    Service time grows with the queue observed at arrival
+    (``base * (1 + contention * depth)``): under a create storm the journal
+    and lock traffic thrash, which is the mechanism behind the paper's
+    Fig. 5 collapse.  With ``mds_count > 1`` operations hash across
+    independent servers and the per-server queues stay shallow (GPFS).
+    """
+
+    def __init__(self, env: Environment, perf: PerfParams):
+        self.env = env
+        self.perf = perf
+        self._servers = [Resource(env, 1) for _ in range(perf.mds_count)]
+        self.ops = OpCounter()
+        self._longest_queue = 0
+        self._create_depth = 0
+        self._peak_create_depth = 0
+
+    @property
+    def longest_observed_queue(self) -> int:
+        return self._longest_queue
+
+    @property
+    def peak_create_depth(self) -> int:
+        return self._peak_create_depth
+
+    def op(self, kind: str, key: int = 0, *, heavy: bool = False) -> Generator:
+        """Process: one metadata operation.
+
+        Plain operations (stats, markers/tiny creates, unlinks, mkdirs)
+        pay the base service plus mild linear queueing.  *Heavy* creates —
+        data-file creates that allocate storage objects (Lustre OST
+        objects / GPFS inode+block maps) — cost a weight multiple of the
+        base and, once outstanding heavy creates exceed what the MDS
+        journal and caches absorb, degrade steeply (the
+        ``(c * creates)**exp`` thrash term — the Fig. 5 collapse).  Keying
+        the thrash on heavy creates rather than total queue depth lets a
+        collective open storm of plain markers (BT at 4,096 cores) survive
+        while FLASH-IO's per-rank dropping creates melt the same server.
+        """
+        self.ops.hit(kind)
+        server = self._servers[key % len(self._servers)]
+        depth = server.queue_length
+        if depth > self._longest_queue:
+            self._longest_queue = depth
+        is_create = heavy
+        factor = 1.0 + self.perf.mds_linear * depth
+        weight = 1.0
+        if is_create:
+            weight = self.perf.mds_create_weight
+            self._create_depth += 1
+            if self._create_depth > self._peak_create_depth:
+                self._peak_create_depth = self._create_depth
+            factor += (
+                self.perf.mds_contention * self._create_depth
+            ) ** self.perf.mds_contention_exp
+        try:
+            service = self.perf.mds_base_service * weight * factor
+            yield from server.use(service)
+        finally:
+            if is_create:
+                self._create_depth -= 1
+
+    def ops_issued(self) -> int:
+        return self.ops.total()
+
+
+class WriteBackCache:
+    """Per-process client write cache with a dirty-byte budget.
+
+    ``write`` absorbs a payload at memory-copy speed once the budget has
+    room (blocking while it is full) and queues an asynchronous drain
+    through the supplied backend writer.  The budget is released only when
+    the backend write completes — so sustained writing beyond the budget
+    degrades to the backend rate, while short bursts appear instant.  This
+    is the mechanism behind the paper's Fig. 4 cache effects.
+    """
+
+    def __init__(self, env: Environment, perf: PerfParams):
+        self.env = env
+        self.perf = perf
+        self.tank = Tank(env, perf.cache_dirty_per_proc)
+        self._pending: deque[tuple[float, Callable[[float], Generator]]] = deque()
+        self._draining = False
+        self.absorbed_bytes = 0.0
+
+    def write(self, nbytes: float, drain_fn: Callable[[float], Generator]) -> Generator:
+        """Process: absorb *nbytes* (queueing an async backend drain)."""
+        yield self.tank.put(nbytes)
+        yield self.env.timeout(nbytes / self.perf.memcpy_bandwidth)
+        self.absorbed_bytes += nbytes
+        self._pending.append((nbytes, drain_fn))
+        if not self._draining:
+            self._draining = True
+            self.env.process(self._drain_loop())
+
+    def _drain_loop(self) -> Generator:
+        while self._pending:
+            nbytes, drain_fn = self._pending.popleft()
+            yield from drain_fn(nbytes)
+            self.tank.get_up_to(nbytes)
+        self._draining = False
+
+    @property
+    def dirty(self) -> float:
+        return self.tank.level
+
+
+class Platform:
+    """All shared hardware for one simulation run."""
+
+    def __init__(self, env: Environment, spec: MachineSpec):
+        self.env = env
+        self.spec = spec
+        self.perf = spec.perf
+        self.servers = [Server(env, spec.perf, i) for i in range(spec.io_servers)]
+        self.mds = MetadataService(env, spec.perf)
+        self._nics: dict[int, BandwidthPipe] = {}
+        self._clients: dict[int, BandwidthPipe] = {}
+        self._caches: dict[tuple[int, int], WriteBackCache] = {}
+        self._stream_rr = 0
+
+    # ------------------------------------------------------------------ #
+    # per-node resources (lazy: a run touches only the nodes it uses)
+    # ------------------------------------------------------------------ #
+
+    def nic(self, node: int) -> BandwidthPipe:
+        pipe = self._nics.get(node)
+        if pipe is None:
+            pipe = BandwidthPipe(
+                self.env,
+                self.perf.nic_bandwidth,
+                latency=self.perf.nic_latency,
+            )
+            self._nics[node] = pipe
+        return pipe
+
+    def client(self, node: int) -> BandwidthPipe:
+        """The node's file-system client daemon (GPFS mmfsd / llite)."""
+        pipe = self._clients.get(node)
+        if pipe is None:
+            pipe = BandwidthPipe(self.env, self.perf.client_bandwidth)
+            self._clients[node] = pipe
+        return pipe
+
+    def cache(self, node: int, proc: int) -> WriteBackCache:
+        key = (node, proc)
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = WriteBackCache(self.env, self.perf)
+            self._caches[key] = cache
+        return cache
+
+    # ------------------------------------------------------------------ #
+    # server placement
+    # ------------------------------------------------------------------ #
+
+    def assign_server(self) -> Server:
+        """Round-robin placement of a new stream (dropping / lane)."""
+        server = self.servers[self._stream_rr % len(self.servers)]
+        self._stream_rr += 1
+        return server
+
+    def server_for(self, key: int) -> Server:
+        return self.servers[key % len(self.servers)]
+
+    # ------------------------------------------------------------------ #
+    # aggregate accounting
+    # ------------------------------------------------------------------ #
+
+    def total_bytes_serviced(self) -> float:
+        return sum(s.bytes_serviced for s in self.servers)
+
+    def total_dirty(self) -> float:
+        return sum(c.dirty for c in self._caches.values())
+
+    def report(self, horizon: float | None = None) -> dict:
+        """Bottleneck snapshot: utilisations and load counters.
+
+        *horizon* defaults to the current simulated time; pass the
+        measured phase length to get phase-relative utilisations.
+        """
+        horizon = self.env.now if horizon is None else horizon
+        server_util = [s.channel.utilisation(horizon) for s in self.servers]
+        return {
+            "horizon": horizon,
+            "server_utilisation": server_util,
+            "server_utilisation_mean": (
+                sum(server_util) / len(server_util) if server_util else 0.0
+            ),
+            "bytes_serviced": self.total_bytes_serviced(),
+            "open_streams": sum(s.open_streams for s in self.servers),
+            "mds_ops": self.mds.ops_issued(),
+            "mds_peak_create_depth": self.mds.peak_create_depth,
+            "nic_utilisation_mean": (
+                sum(p.utilisation(horizon) for p in self._nics.values())
+                / len(self._nics)
+                if self._nics
+                else 0.0
+            ),
+            "cache_dirty_bytes": self.total_dirty(),
+        }
+
+    def render_report(self, horizon: float | None = None) -> str:
+        data = self.report(horizon)
+        return (
+            f"platform after {data['horizon']:.2f}s: "
+            f"servers {data['server_utilisation_mean']:.0%} busy, "
+            f"NICs {data['nic_utilisation_mean']:.0%}, "
+            f"{data['bytes_serviced'] / 1e9:.2f} GB serviced, "
+            f"{data['mds_ops']} metadata ops "
+            f"(peak create depth {data['mds_peak_create_depth']}), "
+            f"{data['cache_dirty_bytes'] / 1e6:.1f} MB still dirty"
+        )

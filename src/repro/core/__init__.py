@@ -1,0 +1,58 @@
+"""``repro.core`` — LDPLFS: transparent POSIX→PLFS interposition.
+
+The paper's primary contribution: a dynamically installed shim that
+retargets POSIX file operations on paths under PLFS mount points to the
+PLFS user-level API, with no application modification.  See
+:mod:`repro.core.interpose` for activation and :mod:`repro.core.shim` for
+the interposed call set.
+"""
+
+from .config import (
+    ENV_MOUNTS,
+    ENV_PLFSRC,
+    ENV_PRELOAD,
+    discover_mounts,
+    mounts_from_environ,
+    mounts_from_plfsrc,
+    parse_plfsrc,
+    preload_requested,
+)
+from .fdtable import FdEntry, FdTable
+from .interpose import (
+    Interposer,
+    activate_from_environ,
+    current,
+    install,
+    interposed,
+    uninstall,
+)
+from .mounts import Mount, MountTable
+from .shim import RealOS, Shim
+from .trace import FileStats, TraceReport, Tracer, traced
+
+__all__ = [
+    "Interposer",
+    "install",
+    "uninstall",
+    "interposed",
+    "current",
+    "activate_from_environ",
+    "Mount",
+    "MountTable",
+    "Shim",
+    "RealOS",
+    "FdTable",
+    "FdEntry",
+    "ENV_PRELOAD",
+    "ENV_MOUNTS",
+    "ENV_PLFSRC",
+    "preload_requested",
+    "mounts_from_environ",
+    "mounts_from_plfsrc",
+    "parse_plfsrc",
+    "discover_mounts",
+    "Tracer",
+    "traced",
+    "TraceReport",
+    "FileStats",
+]

@@ -1,0 +1,15 @@
+"""Import-time activation: ``import repro.core.preload``.
+
+The closest Python gets to ``LD_PRELOAD=libldplfs.so ./app``::
+
+    LDPLFS_PRELOAD=1 LDPLFS_MOUNTS=/mnt/plfs:/scratch/backend \\
+        python -c "import repro.core.preload, myapp; myapp.main()"
+
+or site-wide via a ``.pth`` file / ``sitecustomize`` that imports this
+module, after which *any* Python program on the machine transparently uses
+PLFS for paths under the configured mount points.
+"""
+
+from .interpose import activate_from_environ
+
+interposer = activate_from_environ()

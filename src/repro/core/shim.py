@@ -1,0 +1,784 @@
+"""The interposed POSIX call set.
+
+Each public method of :class:`Shim` replaces the same-named function in the
+``os`` module (plus ``builtins.open``) while interposition is installed.
+The dispatch rule is the paper's: a *path* operation is retargeted to PLFS
+when the path resolves through the mount table; an *fd* operation is
+retargeted when the descriptor has an entry in the fd lookup table;
+everything else falls through to the saved original function — the
+``dlsym(RTLD_NEXT)`` pass-through of the C shim.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import os
+import stat as stat_module
+from dataclasses import dataclass
+
+from repro.plfs import api as plfs_api
+from repro.plfs.container import is_container, readdir_logical, rmdir_logical
+from repro.plfs.errors import PlfsError
+
+from .fdtable import FdEntry, FdTable
+from .mounts import Mount, MountTable
+
+_ACCMODE = os.O_RDONLY | os.O_WRONLY | os.O_RDWR
+
+
+@dataclass(frozen=True)
+class RealOS:
+    """Snapshot of the original functions taken before patching."""
+
+    open: callable
+    close: callable
+    read: callable
+    write: callable
+    pread: callable
+    pwrite: callable
+    lseek: callable
+    dup: callable
+    dup2: callable
+    stat: callable
+    lstat: callable
+    fstat: callable
+    access: callable
+    unlink: callable
+    rename: callable
+    replace: callable
+    truncate: callable
+    ftruncate: callable
+    fsync: callable
+    mkdir: callable
+    rmdir: callable
+    listdir: callable
+    scandir: callable
+    chmod: callable
+    utime: callable
+    path_exists: callable
+    builtins_open: callable
+    sendfile: callable | None = None
+    fdatasync: callable | None = None
+    statvfs: callable | None = None
+    fstatvfs: callable | None = None
+    link: callable | None = None
+    symlink: callable | None = None
+    readlink: callable | None = None
+    copy_file_range: callable | None = None
+
+    @classmethod
+    def snapshot(cls) -> "RealOS":
+        import builtins
+
+        return cls(
+            open=os.open,
+            close=os.close,
+            read=os.read,
+            write=os.write,
+            pread=os.pread,
+            pwrite=os.pwrite,
+            lseek=os.lseek,
+            dup=os.dup,
+            dup2=os.dup2,
+            stat=os.stat,
+            lstat=os.lstat,
+            fstat=os.fstat,
+            access=os.access,
+            unlink=os.unlink,
+            rename=os.rename,
+            replace=os.replace,
+            truncate=os.truncate,
+            ftruncate=os.ftruncate,
+            fsync=os.fsync,
+            mkdir=os.mkdir,
+            rmdir=os.rmdir,
+            listdir=os.listdir,
+            scandir=os.scandir,
+            chmod=os.chmod,
+            utime=os.utime,
+            path_exists=os.path.exists,
+            builtins_open=builtins.open,
+            sendfile=getattr(os, "sendfile", None),
+            fdatasync=getattr(os, "fdatasync", None),
+            statvfs=getattr(os, "statvfs", None),
+            fstatvfs=getattr(os, "fstatvfs", None),
+            link=getattr(os, "link", None),
+            symlink=getattr(os, "symlink", None),
+            readlink=getattr(os, "readlink", None),
+            copy_file_range=getattr(os, "copy_file_range", None),
+        )
+
+
+def _enoent(path) -> OSError:
+    return FileNotFoundError(errno.ENOENT, os.strerror(errno.ENOENT), path)
+
+
+def _eisdir(path) -> OSError:
+    return IsADirectoryError(errno.EISDIR, os.strerror(errno.EISDIR), path)
+
+
+def _enotdir(path) -> OSError:
+    return NotADirectoryError(errno.ENOTDIR, os.strerror(errno.ENOTDIR), path)
+
+
+def _exdev(src, dst) -> OSError:
+    return OSError(errno.EXDEV, os.strerror(errno.EXDEV), src, None, dst)
+
+
+class Shim:
+    """Implements every interposed call against one mount table."""
+
+    def __init__(self, mount_table: MountTable, real: RealOS | None = None):
+        self.mounts = mount_table
+        self.real = real or RealOS.snapshot()
+        self.table = FdTable(self.real)
+        #: counters used by tests and the overhead benchmarks
+        self.stats = {"plfs_calls": 0, "passthrough_calls": 0}
+
+    # ------------------------------------------------------------------ #
+    # resolution helpers
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, path) -> tuple[Mount, str] | None:
+        if isinstance(path, int):  # fd-relative path APIs pass ints
+            return None
+        try:
+            fspath = os.fspath(path)
+        except TypeError:
+            return None
+        if isinstance(fspath, bytes):
+            fspath = os.fsdecode(fspath)
+        return self.mounts.resolve(fspath)
+
+    def _count(self, plfs: bool) -> None:
+        self.stats["plfs_calls" if plfs else "passthrough_calls"] += 1
+
+    # ------------------------------------------------------------------ #
+    # fd creation / destruction
+    # ------------------------------------------------------------------ #
+
+    def open(self, path, flags, mode=0o777, *, dir_fd=None, **kwargs):
+        resolved = self._resolve(path) if dir_fd is None else None
+        if resolved is None:
+            self._count(False)
+            return self.real.open(path, flags, mode, dir_fd=dir_fd, **kwargs)
+        _, backend = resolved
+        self._count(True)
+
+        if is_container(backend):
+            pass  # logical file
+        elif os.path.isdir(backend):
+            # A logical directory: give the caller a real directory fd on
+            # the backend so fchdir()/O_DIRECTORY users keep working.
+            return self.real.open(backend, flags, mode)
+        elif os.path.exists(backend):
+            # Plain (non-PLFS) file living inside the backend tree.
+            return self.real.open(backend, flags, mode)
+        elif not flags & os.O_CREAT:
+            raise _enoent(path)
+
+        try:
+            plfs_fd = plfs_api.plfs_open(backend, flags, os.getpid(), mode & 0o777)
+        except PlfsError as exc:
+            raise type(exc)(str(exc.args[1] if len(exc.args) > 1 else exc), exc.errno) from None
+        entry = self.table.insert(plfs_fd, flags, os.fspath(path))
+        return entry.fd
+
+    def close(self, fd):
+        entry = self.table.remove(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.close(fd)
+        self._count(True)
+        try:
+            plfs_api.plfs_close(entry.plfs_fd)
+        finally:
+            self.table.close_shadow(entry)
+
+    def dup(self, fd):
+        new_fd = self.real.dup(fd)
+        entry = self.table.lookup(fd)
+        if entry is not None:
+            self.table.dup(entry, new_fd)
+            self._count(True)
+        else:
+            self._count(False)
+        return new_fd
+
+    def dup2(self, fd, fd2, inheritable=True):
+        if fd == fd2:
+            return fd2
+        old = self.table.remove(fd2)
+        if old is not None:
+            # fd2 referenced a PLFS file: release that reference first.
+            plfs_api.plfs_close(old.plfs_fd)
+        new_fd = self.real.dup2(fd, fd2, inheritable)
+        entry = self.table.lookup(fd)
+        if entry is not None:
+            self.table.dup(entry, new_fd)
+            self._count(True)
+        else:
+            self._count(False)
+        return new_fd
+
+    # ------------------------------------------------------------------ #
+    # cursor-based I/O (the paper's lseek-emulated file pointer)
+    # ------------------------------------------------------------------ #
+
+    def read(self, fd, n):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.read(fd, n)
+        self._count(True)
+        if not entry.readable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        cursor = self.table.tell(entry)
+        data = plfs_api.plfs_read(entry.plfs_fd, n, cursor)
+        if data:
+            self.table.advance(entry, len(data))
+        return data
+
+    def write(self, fd, data):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.write(fd, data)
+        self._count(True)
+        if not entry.writable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        if entry.append:
+            offset = plfs_api.plfs_getattr(entry.plfs_fd).st_size
+        else:
+            offset = self.table.tell(entry)
+        data = bytes(data) if isinstance(data, memoryview) else data
+        n = plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset)
+        self.table.set_cursor(entry, offset + n)
+        return n
+
+    def lseek(self, fd, pos, how):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.lseek(fd, pos, how)
+        self._count(True)
+        if how == os.SEEK_END:
+            size = plfs_api.plfs_getattr(entry.plfs_fd).st_size
+            target = size + pos
+            if target < 0:
+                raise OSError(errno.EINVAL, os.strerror(errno.EINVAL))
+            return self.table.set_cursor(entry, target)
+        # SEEK_SET / SEEK_CUR validate naturally on the shadow descriptor.
+        return self.real.lseek(entry.fd, pos, how)
+
+    # ------------------------------------------------------------------ #
+    # positional I/O
+    # ------------------------------------------------------------------ #
+
+    def pread(self, fd, n, offset):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.pread(fd, n, offset)
+        self._count(True)
+        if not entry.readable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        return plfs_api.plfs_read(entry.plfs_fd, n, offset)
+
+    def pwrite(self, fd, data, offset):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.pwrite(fd, data, offset)
+        self._count(True)
+        if not entry.writable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        data = bytes(data) if isinstance(data, memoryview) else data
+        # POSIX semantics: pwrite honours the explicit offset even with
+        # O_APPEND (we do not copy Linux's deviation) and never moves the
+        # cursor.
+        return plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset)
+
+    # ------------------------------------------------------------------ #
+    # fd metadata
+    # ------------------------------------------------------------------ #
+
+    def fstat(self, fd):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.fstat(fd)
+        self._count(True)
+        return plfs_api.plfs_getattr(entry.plfs_fd)
+
+    def fsync(self, fd):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.fsync(fd)
+        self._count(True)
+        plfs_api.plfs_sync(entry.plfs_fd)
+
+    def fdatasync(self, fd):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            if self.real.fdatasync is None:  # pragma: no cover - platform
+                return self.real.fsync(fd)
+            return self.real.fdatasync(fd)
+        self._count(True)
+        plfs_api.plfs_sync(entry.plfs_fd)
+
+    def ftruncate(self, fd, length):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.ftruncate(fd, length)
+        self._count(True)
+        if not entry.writable:
+            raise OSError(errno.EINVAL, os.strerror(errno.EINVAL))
+        plfs_api.plfs_trunc(entry.plfs_fd, length)
+
+    def sendfile(self, out_fd, in_fd, offset, count, *args, **kwargs):
+        if self.table.lookup(out_fd) is not None or self.table.lookup(in_fd) is not None:
+            # Force callers (e.g. shutil's fast-copy path) onto their
+            # ordinary read/write fallback; zero-copy cannot see PLFS data.
+            raise OSError(errno.EINVAL, os.strerror(errno.EINVAL))
+        self._count(False)
+        return self.real.sendfile(out_fd, in_fd, offset, count, *args, **kwargs)
+
+    def copy_file_range(self, src, dst, count, offset_src=None, offset_dst=None):
+        if self.table.lookup(src) is not None or self.table.lookup(dst) is not None:
+            # Same story as sendfile: no in-kernel copies of PLFS data.
+            raise OSError(errno.EXDEV, os.strerror(errno.EXDEV))
+        self._count(False)
+        return self.real.copy_file_range(src, dst, count, offset_src, offset_dst)
+
+    def fstatvfs(self, fd):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.fstatvfs(fd)
+        self._count(True)
+        # Report the backend file system's numbers: capacity questions
+        # about a PLFS file are questions about where the droppings live.
+        return self.real.statvfs(entry.plfs_fd.path)
+
+    def statvfs(self, path):
+        resolved = self._resolve(path)
+        if resolved is None:
+            self._count(False)
+            return self.real.statvfs(path)
+        _, backend = resolved
+        self._count(True)
+        probe = backend
+        while not os.path.exists(probe):
+            parent = os.path.dirname(probe)
+            if parent == probe:
+                break
+            probe = parent
+        return self.real.statvfs(probe)
+
+    # ------------------------------------------------------------------ #
+    # links: PLFS containers cannot be hard-linked (they are directories
+    # on the backend), and logical trees carry no symlinks
+    # ------------------------------------------------------------------ #
+
+    def link(self, src, dst, **kwargs):
+        if self._resolve(src) is None and self._resolve(dst) is None:
+            self._count(False)
+            return self.real.link(src, dst, **kwargs)
+        self._count(True)
+        raise OSError(errno.EPERM, os.strerror(errno.EPERM), src)
+
+    def symlink(self, src, dst, **kwargs):
+        if self._resolve(dst) is None:
+            self._count(False)
+            return self.real.symlink(src, dst, **kwargs)
+        self._count(True)
+        raise OSError(errno.EPERM, os.strerror(errno.EPERM), dst)
+
+    def readlink(self, path, **kwargs):
+        if self._resolve(path) is None:
+            self._count(False)
+            return self.real.readlink(path, **kwargs)
+        self._count(True)
+        raise OSError(errno.EINVAL, os.strerror(errno.EINVAL), path)
+
+    # ------------------------------------------------------------------ #
+    # path metadata
+    # ------------------------------------------------------------------ #
+
+    def stat(self, path, *, dir_fd=None, follow_symlinks=True):
+        if isinstance(path, int):
+            return self.fstat(path)
+        resolved = self._resolve(path) if dir_fd is None else None
+        if resolved is None:
+            self._count(False)
+            return self.real.stat(path, dir_fd=dir_fd, follow_symlinks=follow_symlinks)
+        _, backend = resolved
+        self._count(True)
+        if is_container(backend):
+            return plfs_api.plfs_getattr(backend)
+        if os.path.exists(backend):
+            return self.real.stat(backend, follow_symlinks=follow_symlinks)
+        raise _enoent(path)
+
+    def lstat(self, path, *, dir_fd=None):
+        if self._resolve(path) is None or dir_fd is not None:
+            self._count(False)
+            return self.real.lstat(path, dir_fd=dir_fd)
+        # No symlinks inside logical PLFS trees: lstat == stat.
+        return self.stat(path)
+
+    def access(self, path, amode, **kwargs):
+        resolved = self._resolve(path) if not kwargs.get("dir_fd") else None
+        if resolved is None:
+            self._count(False)
+            return self.real.access(path, amode, **kwargs)
+        _, backend = resolved
+        self._count(True)
+        if not os.path.exists(backend):
+            return False
+        return self.real.access(backend, amode)
+
+    def chmod(self, path, mode, **kwargs):
+        resolved = self._resolve(path) if not kwargs.get("dir_fd") else None
+        if resolved is None:
+            self._count(False)
+            return self.real.chmod(path, mode, **kwargs)
+        _, backend = resolved
+        self._count(True)
+        if is_container(backend):
+            from repro.plfs import constants
+
+            with self.real.builtins_open(
+                os.path.join(backend, constants.ACCESS_FILE), "w"
+            ) as fh:
+                fh.write(f"{stat_module.S_IMODE(mode):o}\n")
+            return None
+        return self.real.chmod(backend, mode)
+
+    def utime(self, path, times=None, **kwargs):
+        resolved = self._resolve(path) if not kwargs.get("dir_fd") else None
+        if resolved is None:
+            self._count(False)
+            return self.real.utime(path, times, **kwargs)
+        _, backend = resolved
+        self._count(True)
+        if not os.path.exists(backend):
+            raise _enoent(path)
+        return self.real.utime(backend, times)
+
+    # ------------------------------------------------------------------ #
+    # namespace operations
+    # ------------------------------------------------------------------ #
+
+    def unlink(self, path, *, dir_fd=None):
+        resolved = self._resolve(path) if dir_fd is None else None
+        if resolved is None:
+            self._count(False)
+            return self.real.unlink(path, dir_fd=dir_fd)
+        _, backend = resolved
+        self._count(True)
+        if is_container(backend):
+            return plfs_api.plfs_unlink(backend)
+        if os.path.isdir(backend):
+            raise _eisdir(path)
+        if not os.path.exists(backend):
+            raise _enoent(path)
+        return self.real.unlink(backend)
+
+    # os.remove is the same function object as os.unlink in CPython, but we
+    # expose a distinct alias in case callers saved one of them.
+    remove = unlink
+
+    def _rename_like(self, real_fn, src, dst):
+        rsrc, rdst = self._resolve(src), self._resolve(dst)
+        if rsrc is None and rdst is None:
+            self._count(False)
+            return real_fn(src, dst)
+        self._count(True)
+        if rsrc is None or rdst is None:
+            # Crossing the PLFS mount boundary is crossing a device.
+            raise _exdev(src, dst)
+        _, bsrc = rsrc
+        _, bdst = rdst
+        if is_container(bsrc):
+            return plfs_api.plfs_rename(bsrc, bdst)
+        if not os.path.exists(bsrc):
+            raise _enoent(src)
+        return real_fn(bsrc, bdst)
+
+    def rename(self, src, dst, **kwargs):
+        if kwargs.get("src_dir_fd") is not None or kwargs.get("dst_dir_fd") is not None:
+            self._count(False)
+            return self.real.rename(src, dst, **kwargs)
+        return self._rename_like(self.real.rename, src, dst)
+
+    def replace(self, src, dst, **kwargs):
+        if kwargs.get("src_dir_fd") is not None or kwargs.get("dst_dir_fd") is not None:
+            self._count(False)
+            return self.real.replace(src, dst, **kwargs)
+        return self._rename_like(self.real.replace, src, dst)
+
+    def truncate(self, path, length):
+        if isinstance(path, int):
+            return self.ftruncate(path, length)
+        resolved = self._resolve(path)
+        if resolved is None:
+            self._count(False)
+            return self.real.truncate(path, length)
+        _, backend = resolved
+        self._count(True)
+        if is_container(backend):
+            return plfs_api.plfs_trunc(backend, length)
+        if not os.path.exists(backend):
+            raise _enoent(path)
+        return self.real.truncate(backend, length)
+
+    def mkdir(self, path, mode=0o777, *, dir_fd=None):
+        resolved = self._resolve(path) if dir_fd is None else None
+        if resolved is None:
+            self._count(False)
+            return self.real.mkdir(path, mode, dir_fd=dir_fd)
+        _, backend = resolved
+        self._count(True)
+        return self.real.mkdir(backend, mode)
+
+    def rmdir(self, path, *, dir_fd=None):
+        resolved = self._resolve(path) if dir_fd is None else None
+        if resolved is None:
+            self._count(False)
+            return self.real.rmdir(path, dir_fd=dir_fd)
+        _, backend = resolved
+        self._count(True)
+        try:
+            return rmdir_logical(backend)
+        except PlfsError:
+            raise _enotdir(path) from None
+
+    def listdir(self, path="."):
+        resolved = self._resolve(path) if not isinstance(path, int) else None
+        if resolved is None:
+            self._count(False)
+            return self.real.listdir(path)
+        _, backend = resolved
+        self._count(True)
+        if is_container(backend):
+            raise _enotdir(path)
+        if not os.path.isdir(backend):
+            raise _enoent(path)
+        return readdir_logical(backend)
+
+    def scandir(self, path="."):
+        resolved = self._resolve(path) if not isinstance(path, int) else None
+        if resolved is None:
+            self._count(False)
+            return self.real.scandir(path)
+        _, backend = resolved
+        self._count(True)
+        logical_root = os.fspath(path)
+        return _PlfsScandirIterator(self, logical_root, backend)
+
+    # ------------------------------------------------------------------ #
+    # builtins.open
+    # ------------------------------------------------------------------ #
+
+    def builtin_open(
+        self,
+        file,
+        mode="r",
+        buffering=-1,
+        encoding=None,
+        errors=None,
+        newline=None,
+        closefd=True,
+        opener=None,
+    ):
+        if isinstance(file, int) or opener is not None:
+            if isinstance(file, int) and self.table.lookup(file) is not None:
+                return self._wrap_fd(file, mode, buffering, encoding, errors, newline, closefd)
+            self._count(False)
+            return self.real.builtins_open(
+                file, mode, buffering, encoding, errors, newline, closefd, opener
+            )
+        resolved = self._resolve(file)
+        if resolved is None:
+            self._count(False)
+            return self.real.builtins_open(
+                file, mode, buffering, encoding, errors, newline, closefd, opener
+            )
+        self._count(True)
+        flags = _mode_to_flags(mode)
+        fd = self.open(file, flags, 0o666)
+        try:
+            return self._wrap_fd(fd, mode, buffering, encoding, errors, newline, True)
+        except Exception:
+            self.close(fd)
+            raise
+
+    def _wrap_fd(self, fd, mode, buffering, encoding, errors, newline, closefd):
+        binary = "b" in mode
+        readable = any(c in mode for c in "r+") or "+" in mode
+        writable = any(c in mode for c in "wax") or "+" in mode
+        raw = _PlfsRawIO(self, fd, readable=readable, writable=writable, closefd=closefd)
+        if buffering == 0:
+            if not binary:
+                raise ValueError("can't have unbuffered text I/O")
+            return raw
+        buffer_size = io.DEFAULT_BUFFER_SIZE if buffering in (-1, 1) else buffering
+        if readable and writable:
+            buffered: io.IOBase = io.BufferedRandom(raw, buffer_size)
+        elif writable:
+            buffered = io.BufferedWriter(raw, buffer_size)
+        else:
+            buffered = io.BufferedReader(raw, buffer_size)
+        if binary:
+            return buffered
+        line_buffering = buffering == 1
+        return io.TextIOWrapper(
+            buffered, encoding, errors, newline, line_buffering=line_buffering
+        )
+
+
+def _mode_to_flags(mode: str) -> int:
+    base = mode.replace("b", "").replace("t", "").replace("U", "")
+    plus = "+" in base
+    base = base.replace("+", "")
+    if base == "r":
+        flags = os.O_RDWR if plus else os.O_RDONLY
+    elif base == "w":
+        flags = (os.O_RDWR if plus else os.O_WRONLY) | os.O_CREAT | os.O_TRUNC
+    elif base == "a":
+        flags = (os.O_RDWR if plus else os.O_WRONLY) | os.O_CREAT | os.O_APPEND
+    elif base == "x":
+        flags = (os.O_RDWR if plus else os.O_WRONLY) | os.O_CREAT | os.O_EXCL
+    else:
+        raise ValueError(f"invalid mode: {mode!r}")
+    return flags
+
+
+class _PlfsRawIO(io.RawIOBase):
+    """Raw I/O adapter over a shimmed descriptor, so the standard library's
+    buffered/text layers (and therefore ``readline``, iteration, ``with``)
+    work unmodified on PLFS files."""
+
+    def __init__(self, shim: Shim, fd: int, *, readable: bool, writable: bool, closefd: bool = True):
+        self._shim = shim
+        self._fd = fd
+        self._readable = readable
+        self._writable = writable
+        self._closefd = closefd
+        self.name = shim.table.lookup(fd).logical_path if shim.table.lookup(fd) else fd
+
+    def fileno(self) -> int:
+        return self._fd
+
+    def readable(self) -> bool:
+        return self._readable
+
+    def writable(self) -> bool:
+        return self._writable
+
+    def seekable(self) -> bool:
+        return True
+
+    def readinto(self, b) -> int:
+        data = self._shim.read(self._fd, len(b))
+        n = len(data)
+        b[:n] = data
+        return n
+
+    def write(self, b) -> int:
+        return self._shim.write(self._fd, bytes(b))
+
+    def seek(self, pos, whence=os.SEEK_SET) -> int:
+        return self._shim.lseek(self._fd, pos, whence)
+
+    def tell(self) -> int:
+        return self._shim.lseek(self._fd, 0, os.SEEK_CUR)
+
+    def truncate(self, size=None) -> int:
+        if size is None:
+            size = self.tell()
+        self._shim.ftruncate(self._fd, size)
+        return size
+
+    def flush(self) -> None:
+        if not self.closed and self._writable:
+            self._shim.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self.closed:
+            try:
+                # IOBase.close() flushes first, so the fd must still be
+                # open when it runs; release the descriptor afterwards.
+                super().close()
+            finally:
+                if self._closefd:
+                    self._shim.close(self._fd)
+
+
+class _PlfsDirEntry:
+    """Minimal ``os.DirEntry`` stand-in for scandir over a mount."""
+
+    __slots__ = ("name", "path", "_shim", "_backend")
+
+    def __init__(self, shim: Shim, name: str, logical_dir: str, backend_dir: str):
+        self.name = name
+        self.path = os.path.join(logical_dir, name)
+        self._shim = shim
+        self._backend = os.path.join(backend_dir, name)
+
+    def is_dir(self, *, follow_symlinks=True) -> bool:
+        return os.path.isdir(self._backend) and not is_container(self._backend)
+
+    def is_file(self, *, follow_symlinks=True) -> bool:
+        return is_container(self._backend) or os.path.isfile(self._backend)
+
+    def is_symlink(self) -> bool:
+        return False
+
+    def stat(self, *, follow_symlinks=True):
+        return self._shim.stat(self.path)
+
+    def inode(self) -> int:
+        return os.stat(self._backend).st_ino
+
+    def __fspath__(self) -> str:
+        return self.path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlfsDirEntry {self.name!r}>"
+
+
+class _PlfsScandirIterator:
+    """Context-manager iterator matching ``os.scandir``'s protocol."""
+
+    def __init__(self, shim: Shim, logical_dir: str, backend_dir: str):
+        if is_container(backend_dir):
+            raise _enotdir(logical_dir)
+        if not os.path.isdir(backend_dir):
+            raise _enoent(logical_dir)
+        self._entries = iter(
+            _PlfsDirEntry(shim, name, logical_dir, backend_dir)
+            for name in readdir_logical(backend_dir)
+        )
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return next(self._entries)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def close(self):
+        self._entries = iter(())

@@ -1,0 +1,243 @@
+"""An I/O tracing interposer that stacks with LDPLFS.
+
+The paper's footnote 1: "although LDPLFS makes use of the LD_PRELOAD
+environmental variable ... other libraries can also make use of the
+dynamic loader (by appending multiple libraries into the environmental
+variable), allowing tracing tools to be used alongside LDPLFS."  This is
+that tracing tool — a Darshan-style characterisation layer that records
+per-file operation counts, byte totals, sizes and timings.
+
+Because it patches the same symbols (``os.*``, ``builtins.open``) by
+saving whatever is currently installed, it composes in either order:
+
+- install the tracer *after* LDPLFS and it observes the application's
+  logical I/O (calls destined for PLFS included);
+- install it *before* and it observes the physical backend traffic the
+  PLFS layer generates.
+
+Use :class:`Tracer` directly or the :func:`traced` context manager::
+
+    with interposed(mounts):
+        with traced() as tracer:
+            run_application()
+    print(tracer.report())
+
+Caveat (true of C tracing preloads as well, which must interpose the
+stdio layer separately from the syscall layer): byte counts cover the
+``os``-level calls; ``builtins.open`` file objects contribute open
+counts, but their buffered reads/writes happen below the Python symbol
+layer and are only visible when the underlying descriptor traffic passes
+through interposed functions (as it does for PLFS-backed files whose raw
+I/O the LDPLFS layer implements with ``os``-level semantics).
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FileStats:
+    """Accumulated statistics for one path (or descriptor lineage)."""
+
+    path: str
+    opens: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+    max_read: int = 0
+    max_write: int = 0
+
+    def observe_read(self, nbytes: int, elapsed: float) -> None:
+        self.reads += 1
+        self.bytes_read += nbytes
+        self.read_time += elapsed
+        if nbytes > self.max_read:
+            self.max_read = nbytes
+
+    def observe_write(self, nbytes: int, elapsed: float) -> None:
+        self.writes += 1
+        self.bytes_written += nbytes
+        self.write_time += elapsed
+        if nbytes > self.max_write:
+            self.max_write = nbytes
+
+
+@dataclass
+class TraceReport:
+    files: dict[str, FileStats] = field(default_factory=dict)
+
+    @property
+    def total_bytes_written(self) -> int:
+        return sum(f.bytes_written for f in self.files.values())
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(f.bytes_read for f in self.files.values())
+
+    @property
+    def total_ops(self) -> int:
+        return sum(f.opens + f.reads + f.writes for f in self.files.values())
+
+    def render(self) -> str:
+        lines = [
+            f"{'file':40s} {'opens':>5s} {'reads':>6s} {'writes':>6s} "
+            f"{'B read':>10s} {'B written':>10s}"
+        ]
+        for path in sorted(self.files):
+            f = self.files[path]
+            lines.append(
+                f"{path[-40:]:40s} {f.opens:5d} {f.reads:6d} {f.writes:6d} "
+                f"{f.bytes_read:10d} {f.bytes_written:10d}"
+            )
+        lines.append(
+            f"total: {self.total_ops} ops, {self.total_bytes_read} B read, "
+            f"{self.total_bytes_written} B written"
+        )
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Characterisation interposer; stacks over whatever is installed."""
+
+    _PATCHES = ("open", "close", "read", "write", "pread", "pwrite")
+
+    def __init__(self, *, clock=time.perf_counter):
+        self._clock = clock
+        self._saved: dict[str, object] = {}
+        self._fd_paths: dict[int, str] = {}
+        self._stats: dict[str, FileStats] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+
+    def _stats_for(self, path: str) -> FileStats:
+        stats = self._stats.get(path)
+        if stats is None:
+            stats = FileStats(path)
+            self._stats[path] = stats
+        return stats
+
+    def report(self) -> TraceReport:
+        return TraceReport(files=dict(self._stats))
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    # ------------------------------------------------------------------ #
+    # installation
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> "Tracer":
+        if self._installed:
+            raise RuntimeError("tracer already installed")
+        # Capture whatever is live *now* — possibly the LDPLFS shims.
+        for name in self._PATCHES:
+            self._saved[name] = getattr(os, name)
+        self._saved["builtins.open"] = builtins.open
+        os.open = self._open
+        os.close = self._close
+        os.read = self._read
+        os.write = self._write
+        os.pread = self._pread
+        os.pwrite = self._pwrite
+        builtins.open = self._builtin_open
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            raise RuntimeError("tracer is not installed")
+        for name in self._PATCHES:
+            setattr(os, name, self._saved[name])
+        builtins.open = self._saved["builtins.open"]
+        self._saved.clear()
+        self._installed = False
+
+    def __enter__(self) -> "Tracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    # traced calls (delegate to the saved layer underneath)
+    # ------------------------------------------------------------------ #
+
+    def _open(self, path, flags, mode=0o777, **kwargs):
+        fd = self._saved["open"](path, flags, mode, **kwargs)
+        try:
+            name = os.fspath(path)
+            if isinstance(name, bytes):
+                name = os.fsdecode(name)
+        except TypeError:
+            name = repr(path)
+        self._fd_paths[fd] = name
+        self._stats_for(name).opens += 1
+        return fd
+
+    def _close(self, fd):
+        self._fd_paths.pop(fd, None)
+        return self._saved["close"](fd)
+
+    def _read(self, fd, n):
+        t0 = self._clock()
+        data = self._saved["read"](fd, n)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._stats_for(path).observe_read(len(data), self._clock() - t0)
+        return data
+
+    def _write(self, fd, data):
+        t0 = self._clock()
+        n = self._saved["write"](fd, data)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._stats_for(path).observe_write(n, self._clock() - t0)
+        return n
+
+    def _pread(self, fd, n, offset):
+        t0 = self._clock()
+        data = self._saved["pread"](fd, n, offset)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._stats_for(path).observe_read(len(data), self._clock() - t0)
+        return data
+
+    def _pwrite(self, fd, data, offset):
+        t0 = self._clock()
+        n = self._saved["pwrite"](fd, data, offset)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            self._stats_for(path).observe_write(n, self._clock() - t0)
+        return n
+
+    def _builtin_open(self, file, mode="r", *args, **kwargs):
+        fh = self._saved["builtins.open"](file, mode, *args, **kwargs)
+        if isinstance(file, (str, bytes)) or hasattr(file, "__fspath__"):
+            name = os.fspath(file)
+            if isinstance(name, bytes):
+                name = os.fsdecode(name)
+            self._stats_for(name).opens += 1
+            try:
+                self._fd_paths[fh.fileno()] = name
+            except (OSError, ValueError, AttributeError):
+                pass
+        return fh
+
+
+@contextmanager
+def traced(**kwargs):
+    tracer = Tracer(**kwargs)
+    tracer.install()
+    try:
+        yield tracer
+    finally:
+        tracer.uninstall()

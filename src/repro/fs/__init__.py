@@ -1,0 +1,25 @@
+"""``repro.fs`` — simulated parallel file-system data paths.
+
+Shared files with lane/lock serialisation (GPFS/Lustre single-file
+behaviour), private append streams (file-per-process / PLFS droppings),
+and the PLFS container cost model used by the at-scale experiments.
+"""
+
+from .parallel import STRIPE_UNIT, PosixClient, SharedFile, StreamFile
+from .plfssim import (
+    CLOSE_OPS,
+    CONTAINER_CREATE_OPS,
+    DROPPING_CREATE_OPS,
+    PlfsContainerSim,
+)
+
+__all__ = [
+    "SharedFile",
+    "StreamFile",
+    "PosixClient",
+    "STRIPE_UNIT",
+    "PlfsContainerSim",
+    "CONTAINER_CREATE_OPS",
+    "DROPPING_CREATE_OPS",
+    "CLOSE_OPS",
+]

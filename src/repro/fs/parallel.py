@@ -1,0 +1,211 @@
+"""Simulated cluster file-system data paths.
+
+Two file shapes exist, matching the paper's dichotomy:
+
+- :class:`SharedFile` — one POSIX file written by many clients.  Writes are
+  striped over a small number of *lanes* (GPFS: effectively one, because
+  byte-range write tokens serialise; Lustre: the stripe count).  Every lane
+  is a capacity-1 resource: concurrent writes to the same region of the
+  same file queue up — the serialisation PLFS exists to remove.  Strided
+  access pays positioning (seek) time.
+
+- :class:`StreamFile` — a private per-process file (a PLFS data dropping or
+  a file-per-process output).  Appends are sequential (no seek: the log-
+  structured advantage) and need no inter-client lock (the partitioning
+  advantage), but every open stream degrades its server's efficiency a
+  little (interleaving cost).
+
+A :class:`PosixClient` issues operations from a given (node, process),
+passing each transfer through the node's client daemon, the NIC, and the
+target server's disk channel; writes at or below the write-through
+threshold are absorbed by the process's write-back cache.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.platform import Platform, Server
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.sim.stats import MB
+
+#: stripe unit for shared files (the granularity of lane assignment)
+STRIPE_UNIT = 4 * MB
+
+
+class SharedFile:
+    """One shared POSIX file, striped over its lock lanes."""
+
+    def __init__(self, platform: Platform, name: str):
+        self.platform = platform
+        self.name = name
+        n_lanes = platform.perf.shared_file_concurrency
+        self.lanes: list[tuple[Resource, Server]] = []
+        for _ in range(n_lanes):
+            server = platform.assign_server()
+            server.stream_opened()
+            self.lanes.append((Resource(platform.env, 1), server))
+        self.size = 0
+        self._closed = False
+
+    def lane_for(self, offset: float) -> tuple[Resource, Server]:
+        return self.lanes[int(offset // STRIPE_UNIT) % len(self.lanes)]
+
+    def segments(self, offset: float, nbytes: float) -> list[tuple[float, float]]:
+        """Split [offset, offset+nbytes) at stripe-unit boundaries."""
+        out: list[tuple[float, float]] = []
+        pos, end = offset, offset + nbytes
+        while pos < end:
+            boundary = (pos // STRIPE_UNIT + 1) * STRIPE_UNIT
+            take = min(boundary, end) - pos
+            out.append((pos, take))
+            pos += take
+        return out
+
+    def close(self) -> None:
+        if not self._closed:
+            for _, server in self.lanes:
+                server.stream_closed()
+            self._closed = True
+
+
+class StreamFile:
+    """A private append-only stream (PLFS dropping / file-per-process)."""
+
+    def __init__(self, platform: Platform, name: str):
+        self.platform = platform
+        self.name = name
+        self.server = platform.assign_server()
+        self.server.stream_opened()
+        self.size = 0.0
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self.server.stream_closed()
+            self._closed = True
+
+
+class PosixClient:
+    """Issues simulated data operations from one (node, process)."""
+
+    def __init__(self, platform: Platform, node: int, proc: int):
+        self.platform = platform
+        self.env: Environment = platform.env
+        self.node = node
+        self.proc = proc
+        self.perf = platform.perf
+
+    # ------------------------------------------------------------------ #
+    # transport stages
+    # ------------------------------------------------------------------ #
+
+    def _transport(self, nbytes: float) -> Generator:
+        """Client daemon + NIC stages (same for reads and writes)."""
+        yield from self.platform.client(self.node).transfer(nbytes)
+        yield from self.platform.nic(self.node).transfer(nbytes)
+
+    # ------------------------------------------------------------------ #
+    # shared-file path
+    # ------------------------------------------------------------------ #
+
+    def _shared_segment(
+        self, f: SharedFile, offset: float, nbytes: float, *, sequential: bool
+    ) -> Generator:
+        lane, server = f.lane_for(offset)
+        # Transport happens before the lane lock: clients pipeline their
+        # transfers while the lane (the file-level serialisation point)
+        # covers only the storage operation.
+        yield from self._transport(nbytes)
+        yield lane.request()
+        try:
+            yield from server.io(nbytes, sequential=sequential)
+        finally:
+            lane.release()
+
+    def _shared_op(
+        self, f: SharedFile, offset: float, nbytes: float, *, sequential: bool
+    ) -> Generator:
+        segments = f.segments(offset, nbytes)
+        if len(segments) == 1:
+            off, take = segments[0]
+            yield from self._shared_segment(f, off, take, sequential=sequential)
+        else:
+            yield self.env.all_of(
+                [
+                    self.env.process(
+                        self._shared_segment(f, off, take, sequential=sequential)
+                    )
+                    for off, take in segments
+                ]
+            )
+
+    def write_shared(
+        self, f: SharedFile, offset: float, nbytes: float, *, sequential: bool = False
+    ) -> Generator:
+        """Process: write [offset, offset+nbytes) of a shared file.
+
+        Shared-file writes are strided between clients, so the server pays
+        positioning time on every operation (``sequential=True`` is the
+        ablation hook for a log-structured *shared* file, paper §V.A).
+        They also never linger in the client cache: conflicting extent
+        locks from neighbouring writers force the pages out (Lustre lock
+        revocation / GPFS token steal), so shared writes are effectively
+        write-through — one half of why PLFS's file-per-process layout
+        wins.
+        """
+        f.size = max(f.size, offset + nbytes)
+        yield from self._shared_op(f, offset, nbytes, sequential=sequential)
+
+    def read_shared(self, f: SharedFile, offset: float, nbytes: float) -> Generator:
+        """Process: read a shared-file extent (cold, uncached)."""
+        yield from self._shared_op(f, offset, nbytes, sequential=False)
+
+    # ------------------------------------------------------------------ #
+    # private-stream path
+    # ------------------------------------------------------------------ #
+
+    def _stream_op(self, f: StreamFile, nbytes: float, *, sequential: bool) -> Generator:
+        yield from self._transport(nbytes)
+        yield from f.server.io(nbytes, sequential=sequential)
+
+    def append_stream(
+        self,
+        f: StreamFile,
+        nbytes: float,
+        *,
+        cache_gate: float | None = None,
+        sequential: bool = True,
+    ) -> Generator:
+        """Process: append to a private stream (log-structured write).
+
+        *cache_gate* is the application-level write size governing cache
+        eligibility (it differs from *nbytes* under collective buffering,
+        where the aggregator writes many ranks' data in one call).  Writes
+        whose gate size is at or below the write-through threshold are
+        absorbed by the write-back cache — private files never suffer lock
+        revocations, so their dirty pages can linger (the paper's Fig. 4
+        cache effects, exclusive to the PLFS routes).
+        """
+        f.size += nbytes
+        gate = nbytes if cache_gate is None else cache_gate
+        if (
+            gate <= self.perf.cache_write_through
+            and nbytes <= self.perf.cache_dirty_per_proc
+        ):
+            cache = self.platform.cache(self.node, self.proc)
+
+            def drain(n: float, _f=f, _seq=sequential) -> Generator:
+                yield from self._stream_op(_f, n, sequential=_seq)
+
+            yield from cache.write(nbytes, drain)
+        else:
+            yield from self._stream_op(f, nbytes, sequential=sequential)
+
+    def read_stream(
+        self, f: StreamFile, nbytes: float, *, sequential: bool = True
+    ) -> Generator:
+        """Process: read from a private stream (sequential scan by
+        default; index-directed jumps pass ``sequential=False``)."""
+        yield from self._stream_op(f, nbytes, sequential=sequential)

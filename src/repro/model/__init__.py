@@ -1,0 +1,18 @@
+"""``repro.model`` — analytic performance model and method auto-tuning.
+
+Implements the paper's §V.A future work: predict PLFS performance without
+benchmarking and flag the regimes where PLFS harms performance.
+"""
+
+from .autotune import Recommendation, choose_method, mds_safe_writer_limit, predict_all
+from .perfmodel import Prediction, WorkloadPattern, predict_write
+
+__all__ = [
+    "WorkloadPattern",
+    "Prediction",
+    "predict_write",
+    "predict_all",
+    "choose_method",
+    "Recommendation",
+    "mds_safe_writer_limit",
+]

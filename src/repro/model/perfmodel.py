@@ -1,0 +1,221 @@
+"""Analytic performance model of the simulated I/O stack.
+
+The paper's future-work section (§V.A) proposes modelling PLFS performance
+"to aid auto-optimisation of parameters, as well as assess the benefits of
+PLFS on future I/O backplanes without requiring extensive benchmarking",
+and in particular "to highlight systems where PLFS may have a negative
+effect on performance".  This module provides that model: closed-form
+bandwidth predictions built from the same mechanisms the discrete-event
+simulator executes (lane serialisation, stream interleaving, write-back
+caching, FUSE chunking, MDS create storms) — but evaluated in microseconds
+instead of simulated, so parameter sweeps are essentially free.
+
+The model is validated against the simulator by the ``model_validation``
+benchmark (experiment M1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import MachineSpec
+from repro.fs.parallel import STRIPE_UNIT
+from repro.fs.plfssim import CLOSE_OPS, DROPPING_CREATE_OPS
+from repro.mpiio.methods import AccessMethod
+from repro.sim.stats import MB
+
+
+@dataclass(frozen=True)
+class WorkloadPattern:
+    """An abstract parallel-write workload.
+
+    ``writers`` is the number of processes that issue file-system writes
+    (aggregators under collective buffering, all ranks for independent
+    I/O); ``openers`` is the number of ranks that open the file (they all
+    produce metadata traffic through PLFS).
+    """
+
+    nodes: int
+    writers: int
+    openers: int
+    total_bytes: float
+    write_size: float  # per application write call, per rank
+    collective: bool = True
+
+    @property
+    def writes_per_writer(self) -> float:
+        per_writer = self.total_bytes / self.writers
+        return max(1.0, per_writer / max(self.backend_write_size, 1.0))
+
+    @property
+    def backend_write_size(self) -> float:
+        """Bytes per backend write call from one writer."""
+        if self.collective:
+            # aggregator collects its node's share of each write round
+            ranks_per_writer = max(1, self.openers // max(self.writers, 1))
+            return self.write_size * ranks_per_writer
+        return self.write_size
+
+
+@dataclass
+class Prediction:
+    """Predicted write performance for one (machine, method, pattern)."""
+
+    bandwidth_mbps: float
+    elapsed: float
+    bottleneck: str
+    components: dict = field(default_factory=dict)
+
+
+def _stream_efficiency(machine: MachineSpec, streams: int) -> float:
+    perf = machine.perf
+    per_server = streams / machine.io_servers
+    share = perf.server_bandwidth / perf.server_concurrency
+    return share / (1.0 + perf.stream_interleave_factor * per_server)
+
+
+def _mds_storm_seconds(
+    machine: MachineSpec, creates: int, light_ops: int, depth_scale: int
+) -> float:
+    """Closed form of the simulator's create-storm service integral.
+
+    *depth_scale* is the number of concurrent creators (each creator's
+    creates are sequential, so the observed create depth peaks near the
+    creator count, not the total create count).  The depth stays high for
+    most of the storm — creators re-enter the queue with their next
+    create as soon as one completes — so the mean thrash factor is taken
+    as the peak factor over an empirical divisor of 2.5 (fitted against
+    the simulator; validated by experiment M1).
+    """
+    perf = machine.perf
+    n = max(creates, 0) / perf.mds_count
+    m = max(light_ops, 0) / perf.mds_count
+    depth = max(depth_scale, 1) / perf.mds_count
+    base = perf.mds_base_service
+    exp = perf.mds_contention_exp
+    c = perf.mds_contention
+    thrash = base * perf.mds_create_weight * n * ((c * depth) ** exp) / 2.5
+    weighted = base * perf.mds_create_weight * n * (1 + perf.mds_linear * depth / 2)
+    light = base * m * (1 + perf.mds_linear * depth / 2)
+    return thrash + weighted + light
+
+
+def predict_write(
+    machine: MachineSpec,
+    method: AccessMethod,
+    pattern: WorkloadPattern,
+) -> Prediction:
+    """Predict achieved write bandwidth (MB/s) for the pattern."""
+    perf = machine.perf
+    components: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # data-path service rate
+    # ------------------------------------------------------------------ #
+    backend_write = pattern.backend_write_size
+    if method.uses_plfs:
+        streams = pattern.writers
+        eff = _stream_efficiency(machine, streams)
+        if method.fuse_transport:
+            chunk = perf.fuse_max_write
+            n_chunks = math.ceil(backend_write / chunk)
+            service = n_chunks * (perf.server_op_overhead + chunk / eff)
+            client_side = n_chunks * perf.fuse_request_overhead
+        else:
+            service = perf.server_op_overhead + backend_write / eff
+            client_side = 0.0
+        per_server_rate = backend_write / service
+        storage_rate = per_server_rate * min(machine.io_servers, streams)
+        ops_per_bottleneck = math.ceil(streams / machine.io_servers)
+    else:
+        lanes = perf.shared_file_concurrency
+        segment = min(backend_write, STRIPE_UNIT)
+        eff = _stream_efficiency(machine, lanes)
+        service = perf.seek_time + perf.server_op_overhead + segment / eff
+        lane_rate = segment / service
+        storage_rate = lane_rate * min(lanes, max(pattern.writers, 1))
+        client_side = 0.0
+        segments_per_write = math.ceil(backend_write / segment)
+        ops_per_bottleneck = math.ceil(
+            pattern.writers * segments_per_write / lanes
+        )
+
+    # per-node client daemons bound what the writers can push
+    client_rate = pattern.nodes * perf.client_bandwidth
+    if method.fuse_transport and client_side > 0:
+        fuse_rate = pattern.writers * backend_write / (
+            client_side + backend_write / perf.client_bandwidth * pattern.writers / pattern.nodes
+        )
+        client_rate = min(client_rate, fuse_rate)
+
+    if pattern.collective:
+        # Convoy effect: a collective round completes when the *slowest*
+        # participant does, so the round time is the store-and-forward
+        # transport plus a full service queue at the bottleneck resource
+        # (server for PLFS streams, lane for a shared file).  Steady-state
+        # throughput is the round payload over the round time.
+        transport = backend_write / perf.client_bandwidth + client_side
+        round_time = transport + ops_per_bottleneck * service
+        round_bytes = pattern.writers * backend_write
+        data_rate = min(round_bytes / round_time, client_rate)
+    else:
+        data_rate = min(storage_rate, client_rate)
+
+    # ------------------------------------------------------------------ #
+    # client write-back cache absorption (PLFS routes only)
+    # ------------------------------------------------------------------ #
+    cached_bytes = 0.0
+    if (
+        method.uses_plfs
+        and not method.fuse_transport
+        and pattern.write_size <= perf.cache_write_through
+    ):
+        cached_bytes = min(
+            pattern.writers * perf.cache_dirty_per_proc, pattern.total_bytes
+        )
+    drained_bytes = pattern.total_bytes - cached_bytes
+    data_seconds = drained_bytes / data_rate
+    memcpy_seconds = cached_bytes / (perf.memcpy_bandwidth * pattern.writers)
+
+    # ------------------------------------------------------------------ #
+    # metadata storm (PLFS routes only)
+    # ------------------------------------------------------------------ #
+    if method.uses_plfs:
+        creates = pattern.writers * DROPPING_CREATE_OPS
+        light = pattern.openers * (1 + CLOSE_OPS) + pattern.nodes
+        mds_seconds = _mds_storm_seconds(machine, creates, light, pattern.writers)
+    else:
+        mds_seconds = machine.perf.mds_base_service
+        creates = 0
+
+    # the create storm overlaps data writing: the longer phase dominates,
+    # with a fraction of the shorter adding on
+    elapsed = max(data_seconds, mds_seconds) + 0.25 * min(data_seconds, mds_seconds)
+    elapsed += memcpy_seconds
+    per_call = method.per_call_overhead * pattern.writes_per_writer
+    elapsed += per_call
+
+    components.update(
+        data_seconds=data_seconds,
+        mds_seconds=mds_seconds,
+        memcpy_seconds=memcpy_seconds,
+        cached_bytes=cached_bytes,
+        storage_rate=storage_rate,
+        client_rate=client_rate,
+    )
+    if mds_seconds > data_seconds:
+        bottleneck = "metadata server"
+    elif storage_rate <= client_rate:
+        bottleneck = "storage servers" if method.uses_plfs else "shared-file lanes"
+    else:
+        bottleneck = "client daemons"
+    if method.fuse_transport:
+        bottleneck = f"{bottleneck} (+FUSE chunking)"
+
+    return Prediction(
+        bandwidth_mbps=pattern.total_bytes / MB / elapsed,
+        elapsed=elapsed,
+        bottleneck=bottleneck,
+        components=components,
+    )

@@ -1,0 +1,27 @@
+"""``repro.mpiio`` — simulated MPI-IO stack.
+
+Communicators, the four access methods the paper compares (plain MPI-IO,
+PLFS-through-FUSE, PLFS-through-ROMIO, LDPLFS), and the MPI-IO file object
+with ROMIO-style two-phase collective buffering.
+"""
+
+from .file import MPIIOSimFile
+from .hints import DEFAULT_HINTS, MPIHints
+from .methods import ALL_METHODS, BY_NAME, FUSE, LDPLFS, MPIIO, PLFS_METHODS, ROMIO, AccessMethod
+from .simmpi import Communicator, RankInfo
+
+__all__ = [
+    "AccessMethod",
+    "MPIIO",
+    "FUSE",
+    "ROMIO",
+    "LDPLFS",
+    "ALL_METHODS",
+    "PLFS_METHODS",
+    "BY_NAME",
+    "Communicator",
+    "RankInfo",
+    "MPIIOSimFile",
+    "MPIHints",
+    "DEFAULT_HINTS",
+]

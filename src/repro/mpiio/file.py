@@ -1,0 +1,312 @@
+"""The simulated MPI-IO file: collective and independent data paths.
+
+Implements ROMIO-style two-phase collective buffering (gather each node's
+data to its aggregator, aggregator issues one large backend write — the
+configuration the paper benchmarks with) and the independent per-rank path
+(what FLASH-IO's HDF5 writes do), over either a shared file (plain MPI-IO)
+or a PLFS container (ROMIO driver / LDPLFS / FUSE), with the access
+method's software costs applied.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cluster.platform import Platform
+from repro.fs.parallel import PosixClient, SharedFile
+from repro.fs.plfssim import PlfsContainerSim
+from repro.sim.engine import Environment
+
+from .hints import DEFAULT_HINTS, MPIHints
+from .methods import AccessMethod
+from .simmpi import Communicator, RankInfo
+
+
+class MPIIOSimFile:
+    """One MPI file handle shared by a communicator."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        method: AccessMethod,
+        comm: Communicator,
+        name: str = "output",
+        *,
+        hints: MPIHints = DEFAULT_HINTS,
+        log_structured: bool = True,
+        shared_sequential: bool = False,
+    ):
+        self.platform = platform
+        self.env: Environment = platform.env
+        self.method = method
+        self.comm = comm
+        self.name = name
+        self.hints = hints
+        self.perf = platform.perf
+        #: ablation hook: pretend the shared file is written log-style
+        self.shared_sequential = shared_sequential
+        self._clients = {
+            r.rank: PosixClient(platform, r.node, r.proc) for r in comm.ranks
+        }
+        if method.uses_plfs:
+            self.container: PlfsContainerSim | None = PlfsContainerSim(
+                platform, name, log_structured=log_structured
+            )
+            self.shared: SharedFile | None = None
+        else:
+            self.container = None
+            self.shared = SharedFile(platform, name)
+        self._write_offset = 0.0
+
+    def client(self, rank: RankInfo) -> PosixClient:
+        return self._clients[rank.rank]
+
+    # ------------------------------------------------------------------ #
+    # open / close (collective)
+    # ------------------------------------------------------------------ #
+
+    def open_all(self, *, for_read: bool = False) -> Generator:
+        """Process: MPI_File_open across the communicator."""
+        yield self.env.timeout(self.comm.barrier_cost())
+        if self.container is not None:
+            procs = []
+            for rank in self.comm.ranks:
+                op = (
+                    self.container.open_read(self.client(rank))
+                    if for_read
+                    else self.container.register_open(self.client(rank))
+                )
+                procs.append(self.env.process(op))
+            yield self.env.all_of(procs)
+        else:
+            # One metadata op for the shared file (rank 0 creates/stats).
+            yield from self.platform.mds.op("shared_open", hash(self.name))
+        yield self.env.timeout(self.comm.barrier_cost())
+
+    def close_all(self) -> Generator:
+        """Process: MPI_File_close (no data flush: caches stay dirty, as
+        on the real machines — the paper's Fig. 4 depends on this)."""
+        yield self.env.timeout(self.comm.barrier_cost())
+        if self.container is not None:
+            procs = [
+                self.env.process(self.container.close_write(self.client(rank)))
+                for rank in self.comm.ranks
+            ]
+            yield self.env.all_of(procs)
+        else:
+            self.shared.close()
+        yield self.env.timeout(self.comm.barrier_cost())
+
+    # ------------------------------------------------------------------ #
+    # method-cost helpers
+    # ------------------------------------------------------------------ #
+
+    def _backend_write(
+        self,
+        client: PosixClient,
+        offset: float,
+        nbytes: float,
+        *,
+        cache_gate: float | None = None,
+    ) -> Generator:
+        """One application write call routed through the access method.
+
+        *cache_gate* is the per-rank application write size (differs from
+        *nbytes* for collectively buffered aggregator writes); it decides
+        client-cache eligibility.  FUSE requests are synchronous round
+        trips through the daemon (no writeback caching in 2012 kernels),
+        so the FUSE route forces the gate above the threshold.
+        """
+        method = self.method
+        if method.per_call_overhead:
+            yield self.env.timeout(method.per_call_overhead)
+        chunk_overhead = method.chunk_overhead(self.perf)
+        if method.fuse_transport:
+            cache_gate = float("inf")
+        pos = offset
+        for chunk in method.chunks(nbytes, self.perf):
+            if chunk_overhead:
+                yield self.env.timeout(chunk_overhead)
+            if self.container is not None:
+                yield from self.container.write(client, chunk, cache_gate=cache_gate)
+            else:
+                yield from client.write_shared(
+                    self.shared, pos, chunk, sequential=self.shared_sequential
+                )
+            pos += chunk
+
+    def _backend_read(self, client: PosixClient, offset: float, nbytes: float) -> Generator:
+        method = self.method
+        if method.per_call_overhead:
+            yield self.env.timeout(method.per_call_overhead)
+        chunk_overhead = method.chunk_overhead(self.perf)
+        pos = offset
+        for chunk in method.chunks(nbytes, self.perf):
+            if chunk_overhead:
+                yield self.env.timeout(chunk_overhead)
+            if self.container is not None:
+                yield from self.container.read_own(client, chunk)
+            else:
+                yield from client.read_shared(self.shared, pos, chunk)
+            pos += chunk
+
+    # ------------------------------------------------------------------ #
+    # collective data path (two-phase collective buffering)
+    # ------------------------------------------------------------------ #
+
+    def _cb_aggregators(self) -> list[tuple[RankInfo, int]]:
+        """(aggregator, nodes_covered) pairs per the cb_nodes hint.
+
+        With the default (one aggregator per node) each covers its own
+        node; with fewer aggregators each covers a contiguous node group
+        and remote nodes' data crosses the network in phase 1.
+        """
+        per_node = self.comm.aggregators()
+        count = self.hints.aggregator_count(self.comm.nodes)
+        if count >= len(per_node):
+            return [(agg, 1) for agg in per_node]
+        stride = self.comm.nodes / count
+        chosen: list[tuple[RankInfo, int]] = []
+        boundaries = [round(i * stride) for i in range(count)] + [self.comm.nodes]
+        for i in range(count):
+            agg = per_node[boundaries[i]]
+            chosen.append((agg, boundaries[i + 1] - boundaries[i]))
+        return chosen
+
+    def _aggregator_write(
+        self,
+        agg: RankInfo,
+        node_bytes: float,
+        offset: float,
+        per_rank: float,
+        nodes_covered: int = 1,
+    ) -> Generator:
+        perf = self.perf
+        # Phase 1: gather the covered ranks' data to the aggregator:
+        # shared-memory copies on its own node (plus the per-process
+        # synchronisation the paper notes grows with ppn), NIC transfers
+        # for data arriving from other nodes (cb_nodes < nodes).
+        local_bytes = node_bytes / nodes_covered
+        remote_bytes = node_bytes - local_bytes
+        gather = (self.comm.ppn - 1) * perf.ppn_sync_overhead
+        gather += local_bytes / perf.memcpy_bandwidth
+        yield self.env.timeout(gather)
+        if remote_bytes > 0:
+            yield from self.platform.nic(agg.node).transfer(remote_bytes)
+        # Phase 2: backend writes in cb_buffer_size chunks.  Cache
+        # behaviour follows the application write size, not the buffer.
+        pos = offset
+        remaining = node_bytes
+        while remaining > 0:
+            chunk = min(self.hints.cb_buffer_size, remaining)
+            yield from self._backend_write(
+                self.client(agg), pos, chunk, cache_gate=per_rank
+            )
+            pos += chunk
+            remaining -= chunk
+
+    def write_at_all(self, bytes_per_rank: float) -> Generator:
+        """Process: one collective write step (every rank contributes
+        *bytes_per_rank*).  With collective buffering on (the default),
+        aggregators write node-group-contiguous blocks; with it disabled
+        every rank writes its own strided piece independently."""
+        yield self.env.timeout(self.comm.barrier_cost() + self.perf.mpi_call_overhead)
+        procs = []
+        offset = self._write_offset
+        if not self.hints.romio_cb_write:
+            for rank in self.comm.ranks:
+                procs.append(
+                    self.env.process(
+                        self._backend_write(
+                            self.client(rank),
+                            offset + rank.rank * bytes_per_rank,
+                            bytes_per_rank,
+                            cache_gate=bytes_per_rank,
+                        )
+                    )
+                )
+            self._write_offset = offset + bytes_per_rank * self.comm.size
+        else:
+            per_node_bytes = bytes_per_rank * self.comm.ppn
+            for agg, covered in self._cb_aggregators():
+                group_bytes = per_node_bytes * covered
+                procs.append(
+                    self.env.process(
+                        self._aggregator_write(
+                            agg, group_bytes, offset, bytes_per_rank, covered
+                        )
+                    )
+                )
+                offset += group_bytes
+            self._write_offset = offset
+        yield self.env.all_of(procs)
+        yield self.env.timeout(self.comm.barrier_cost())
+
+    def _aggregator_read(self, agg: RankInfo, node_bytes: float, offset: float) -> Generator:
+        perf = self.perf
+        yield from self._backend_read(self.client(agg), offset, node_bytes)
+        # Scatter back to the node's processes.
+        scatter = (self.comm.ppn - 1) * perf.ppn_sync_overhead
+        scatter += node_bytes / perf.memcpy_bandwidth
+        yield self.env.timeout(scatter)
+
+    def read_at_all(self, bytes_per_rank: float, *, offset: float = 0.0) -> Generator:
+        """Process: one collective read step."""
+        yield self.env.timeout(self.comm.barrier_cost() + self.perf.mpi_call_overhead)
+        procs = []
+        pos = offset
+        for agg in self.comm.aggregators():
+            node_bytes = bytes_per_rank * len(self.comm.ranks_on_node(agg.node))
+            procs.append(self.env.process(self._aggregator_read(agg, node_bytes, pos)))
+            pos += node_bytes
+        yield self.env.all_of(procs)
+        yield self.env.timeout(self.comm.barrier_cost())
+
+    # ------------------------------------------------------------------ #
+    # independent data path (per rank, no aggregation)
+    # ------------------------------------------------------------------ #
+
+    def write_independent(self, rank: RankInfo, offset: float, nbytes: float) -> Generator:
+        """Process: MPI_File_write (independent) from one rank."""
+        yield from self._backend_write(self.client(rank), offset, nbytes)
+
+    def write_strided_independent(
+        self,
+        rank: RankInfo,
+        base_offset: float,
+        record_size: float,
+        stride: float,
+        count: int,
+    ) -> Generator:
+        """Process: one rank updates *count* records of *record_size*
+        bytes placed *stride* apart (an interleaved file view, the
+        pattern of the paper's §II data-sieving discussion).
+
+        With ``romio_ds_write`` enabled on a shared file, ROMIO sieves:
+        read the covering extent, modify in memory, write it back as one
+        block — two large operations instead of *count* small strided
+        ones, "at the expense of locking a larger portion of the file".
+        PLFS containers never sieve (appends are cheap regardless of the
+        logical stride).
+        """
+        client = self.client(rank)
+        if (
+            self.hints.romio_ds_write
+            and self.shared is not None
+            and count > 1
+            and record_size < stride
+        ):
+            extent = stride * (count - 1) + record_size
+            yield from client.read_shared(self.shared, base_offset, extent)
+            yield from client.write_shared(self.shared, base_offset, extent)
+            return
+        for i in range(count):
+            yield from self._backend_write(
+                client,
+                base_offset + i * stride,
+                record_size,
+                cache_gate=record_size,
+            )
+
+    def read_independent(self, rank: RankInfo, offset: float, nbytes: float) -> Generator:
+        yield from self._backend_read(self.client(rank), offset, nbytes)

@@ -1,0 +1,52 @@
+"""MPI-IO hints (the ROMIO knobs the paper's §II discusses).
+
+The paper benchmarks with collective buffering "in its default
+configuration" (one aggregator per node, footnote 3) and credits ROMIO's
+collective buffering and data sieving as the key MPI-IO optimisations
+LDPLFS can exploit that the raw PLFS API cannot.  This module models the
+standard ROMIO hint set so those claims can be studied:
+
+- ``cb_nodes`` — number of collective-buffering aggregators (ROMIO
+  default: one per compute node);
+- ``cb_buffer_size`` — each aggregator writes its collected data in
+  chunks of this size (ROMIO default 16 MB);
+- ``romio_cb_write`` — enable/disable two-phase collective writes
+  (disabled = every rank writes its own piece independently);
+- ``romio_ds_write`` — data sieving for non-contiguous independent
+  writes (read the covering extent, modify, write back one block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import MB
+
+
+@dataclass(frozen=True)
+class MPIHints:
+    """One MPI_Info's worth of I/O hints."""
+
+    #: aggregator count; None = ROMIO default (one per node)
+    cb_nodes: int | None = None
+    #: aggregator write granularity, bytes
+    cb_buffer_size: float = 16 * MB
+    #: two-phase collective buffering on collective calls
+    romio_cb_write: bool = True
+    #: data sieving on strided independent writes
+    romio_ds_write: bool = False
+
+    def __post_init__(self):
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise ValueError("cb_nodes must be >= 1")
+        if self.cb_buffer_size <= 0:
+            raise ValueError("cb_buffer_size must be positive")
+
+    def aggregator_count(self, nodes: int) -> int:
+        """Resolved aggregator count for a communicator on *nodes*."""
+        if self.cb_nodes is None:
+            return nodes
+        return min(self.cb_nodes, nodes)
+
+
+DEFAULT_HINTS = MPIHints()

@@ -1,0 +1,74 @@
+"""The four PLFS access routes the paper compares (§II, §III).
+
+Each :class:`AccessMethod` captures the *software* cost of reaching the
+file system, independent of the hardware model:
+
+- ``MPIIO`` — plain MPI-IO onto a shared file; no extra layer.
+- ``ROMIO`` — the PLFS ROMIO driver compiled into MPI: PLFS semantics plus
+  a small per-call driver cost.
+- ``LDPLFS`` — the paper's contribution: the same PLFS semantics through
+  symbol interposition.  Its per-call cost (an fd-table lookup plus the
+  lseek bookkeeping of §III.A) is *lower* than the ROMIO driver's — this
+  is why the paper observes LDPLFS occasionally beating ROMIO.
+- ``FUSE`` — PLFS through the FUSE kernel module: every request crosses
+  user/kernel twice and, crucially, the kernel splits I/O into
+  ``max_write``-sized chunks (128 KB), multiplying the per-request costs —
+  the mechanism behind FUSE's poor showing in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import PerfParams
+
+
+@dataclass(frozen=True)
+class AccessMethod:
+    """Cost model for one access route."""
+
+    name: str
+    uses_plfs: bool
+    #: client CPU cost per application I/O call, seconds
+    per_call_overhead: float
+    #: True: requests are split into perf.fuse_max_write chunks, each
+    #: paying perf.fuse_request_overhead (FUSE kernel crossings)
+    fuse_transport: bool = False
+
+    def chunks(self, nbytes: float, perf: PerfParams) -> list[float]:
+        """Sizes of the backend requests one call of *nbytes* becomes."""
+        if not self.fuse_transport or nbytes <= perf.fuse_max_write:
+            return [nbytes]
+        out: list[float] = []
+        remaining = nbytes
+        while remaining > 0:
+            take = min(perf.fuse_max_write, remaining)
+            out.append(take)
+            remaining -= take
+        return out
+
+    def chunk_overhead(self, perf: PerfParams) -> float:
+        """Client CPU cost per backend request (kernel crossings)."""
+        return perf.fuse_request_overhead if self.fuse_transport else 0.0
+
+
+#: Plain MPI-IO without PLFS (the baseline of every figure).
+MPIIO = AccessMethod(name="MPI-IO", uses_plfs=False, per_call_overhead=0.0)
+
+#: PLFS through a modified OpenMPI/ROMIO build.
+ROMIO = AccessMethod(name="ROMIO", uses_plfs=True, per_call_overhead=60e-6)
+
+#: PLFS through the LDPLFS interposition shim.
+LDPLFS = AccessMethod(name="LDPLFS", uses_plfs=True, per_call_overhead=30e-6)
+
+#: PLFS through the FUSE mount.
+FUSE = AccessMethod(
+    name="FUSE",
+    uses_plfs=True,
+    per_call_overhead=60e-6,
+    fuse_transport=True,
+)
+
+ALL_METHODS = [MPIIO, FUSE, ROMIO, LDPLFS]
+PLFS_METHODS = [FUSE, ROMIO, LDPLFS]
+BY_NAME = {m.name: m for m in ALL_METHODS}

@@ -1,0 +1,99 @@
+"""``repro.plfs`` — a complete Parallel Log-structured File System in Python.
+
+Implements the PLFS container format (Bent et al., SC'09; Fig. 1 of the
+LDPLFS paper) on a real backend directory tree: log-structured data
+droppings, index droppings, hostdir buckets, cached metadata, and the
+user-level API of the paper's Listing 1.
+
+Quick use::
+
+    import os
+    from repro import plfs
+
+    fd = plfs.plfs_open("/tmp/backend/myfile", os.O_CREAT | os.O_WRONLY)
+    plfs.plfs_write(fd, b"hello", 5, offset=0)
+    plfs.plfs_close(fd)
+"""
+
+from .api import (
+    OpenOptions,
+    Plfs_fd,
+    plfs_access,
+    plfs_close,
+    plfs_create,
+    plfs_dump_index,
+    plfs_exists,
+    plfs_flatten_index,
+    plfs_getattr,
+    plfs_map,
+    plfs_mkdir,
+    plfs_open,
+    plfs_read,
+    plfs_read_into,
+    plfs_readdir,
+    plfs_ref,
+    plfs_rename,
+    plfs_rmdir,
+    plfs_sync,
+    plfs_trunc,
+    plfs_unlink,
+    plfs_write,
+)
+from .container import Container, is_container
+from .errors import (
+    BadFlagsError,
+    ContainerExistsError,
+    ContainerNotFoundError,
+    CorruptIndexError,
+    IsAContainerError,
+    NotAContainerError,
+    PlfsError,
+)
+from .index import INDEX_DTYPE, ExtentMap, GlobalIndex, ReadSlice
+from .reader import ReadFile
+from .tools import ContainerReport, plfs_check, plfs_recover, plfs_usage
+from .writer import WriteFile
+
+__all__ = [
+    "OpenOptions",
+    "Plfs_fd",
+    "Container",
+    "is_container",
+    "WriteFile",
+    "ReadFile",
+    "GlobalIndex",
+    "ExtentMap",
+    "ReadSlice",
+    "INDEX_DTYPE",
+    "PlfsError",
+    "NotAContainerError",
+    "ContainerNotFoundError",
+    "ContainerExistsError",
+    "BadFlagsError",
+    "CorruptIndexError",
+    "IsAContainerError",
+    "plfs_open",
+    "plfs_close",
+    "plfs_ref",
+    "plfs_read",
+    "plfs_read_into",
+    "plfs_write",
+    "plfs_sync",
+    "plfs_getattr",
+    "plfs_access",
+    "plfs_exists",
+    "plfs_unlink",
+    "plfs_create",
+    "plfs_trunc",
+    "plfs_rename",
+    "plfs_mkdir",
+    "plfs_rmdir",
+    "plfs_readdir",
+    "plfs_flatten_index",
+    "plfs_map",
+    "plfs_dump_index",
+    "plfs_check",
+    "plfs_recover",
+    "plfs_usage",
+    "ContainerReport",
+]

@@ -1,0 +1,413 @@
+"""The PLFS user-level API.
+
+Mirrors the C functions quoted in the paper's Listing 1 (``plfs_open``,
+``plfs_read``, ``plfs_write``) plus the rest of the surface LDPLFS needs
+(`close`, `sync`, `unlink`, `access`, `getattr`, `trunc`, `create`,
+`rename`, directory ops).  All functions take *backend physical paths*; the
+interposition layer (``repro.core``) performs logical-path → backend
+resolution through its mount table, exactly as plfsrc does for the C
+library.
+
+Differences from C forced by the language are intentional and small:
+``plfs_read`` returns ``bytes`` (with a buffer-filling variant) and errors
+are raised as :class:`~repro.plfs.errors.PlfsError` (an :class:`OSError`)
+rather than returned as ``-errno``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from . import constants
+from .container import Container, is_container, readdir_logical, rmdir_logical
+from .errors import BadFlagsError, ContainerNotFoundError, NotAContainerError
+from .index import pack_records
+from .reader import ReadFile
+from .util import hostname, unique_timestamp
+from .writer import WriteFile
+
+_ACCMODE = os.O_RDONLY | os.O_WRONLY | os.O_RDWR
+
+
+@dataclass
+class OpenOptions:
+    """Counterpart of ``Plfs_open_opt`` (all defaulted, as LDPLFS does)."""
+
+    buffer_index: bool = True
+    #: number of hostdir buckets for new containers
+    num_hostdirs: int = constants.NUM_HOSTDIRS
+
+
+@dataclass
+class Plfs_fd:
+    """Counterpart of the C ``Plfs_fd`` handle.
+
+    Reference counted: LDPLFS-style layers may share one handle across
+    multiple application descriptors; the final ``plfs_close`` tears it
+    down.
+    """
+
+    container: Container
+    flags: int
+    pid: int
+    refs: int = 1
+    writer: WriteFile | None = None
+    _reader: ReadFile | None = field(default=None, repr=False)
+    _dirty_since_reader_build: bool = field(default=False, repr=False)
+
+    @property
+    def path(self) -> str:
+        return self.container.path
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & _ACCMODE) in (os.O_RDONLY, os.O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & _ACCMODE) in (os.O_WRONLY, os.O_RDWR)
+
+    def reader(self) -> ReadFile:
+        if self._reader is None:
+            self._reader = ReadFile(self.container, writer=self.writer)
+            self._dirty_since_reader_build = False
+        elif self._dirty_since_reader_build:
+            self._reader.refresh()
+            self._dirty_since_reader_build = False
+        return self._reader
+
+    def mark_dirty(self) -> None:
+        self._dirty_since_reader_build = True
+
+    def invalidate_reader(self) -> None:
+        """Discard the cached reader entirely.  Needed when the writer
+        object itself is replaced (truncate), since a cached ReadFile holds
+        a reference to the writer whose unflushed records it overlays."""
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        self._dirty_since_reader_build = False
+
+
+# ---------------------------------------------------------------------- #
+# open / close
+# ---------------------------------------------------------------------- #
+
+
+def plfs_open(
+    path: str,
+    flags: int,
+    pid: int | None = None,
+    mode: int = 0o644,
+    open_opt: OpenOptions | None = None,
+) -> Plfs_fd:
+    """Open (optionally creating) the logical file backed at *path*."""
+    pid = os.getpid() if pid is None else pid
+    container = Container(path)
+    exists = container.exists()
+
+    if not exists:
+        if os.path.isdir(path) and not container.exists():
+            # Container creation is atomic, so an on-disk directory that
+            # is not a container is a foreign directory (the re-check
+            # closes the window where a concurrent creator renamed the
+            # skeleton into place between our two looks).
+            raise NotAContainerError(f"is a directory: {path}")
+        if os.path.exists(path) and not os.path.isdir(path):
+            raise NotAContainerError(f"exists and is not a PLFS file: {path}")
+        if not flags & os.O_CREAT and not container.exists():
+            raise ContainerNotFoundError(f"no such file: {path}")
+        if flags & os.O_CREAT:
+            container.create(mode, exclusive=bool(flags & os.O_EXCL), pid=pid)
+    elif flags & os.O_CREAT and flags & os.O_EXCL:
+        container.create(mode, exclusive=True, pid=pid)
+
+    if flags & os.O_TRUNC and (flags & _ACCMODE) != os.O_RDONLY:
+        container.wipe_data()
+
+    fd = Plfs_fd(container=container, flags=flags, pid=pid)
+    if fd.writable:
+        fd.writer = WriteFile(container)
+        container.register_open(pid)
+    return fd
+
+
+def plfs_close(fd: Plfs_fd, pid: int | None = None, flags: int | None = None) -> int:
+    """Drop one reference; tear down on the last.  Returns remaining refs."""
+    fd.refs -= 1
+    if fd.refs > 0:
+        return fd.refs
+    if fd._reader is not None:
+        fd._reader.close()
+        fd._reader = None
+    if fd.writer is not None:
+        last = fd.writer.max_logical_end
+        total = fd.writer.total_written
+        fd.writer.close()
+        fd.container.unregister_open(pid if pid is not None else fd.pid)
+        if total:
+            fd.container.drop_meta(last, total)
+        fd.writer = None
+    return 0
+
+
+def plfs_ref(fd: Plfs_fd) -> Plfs_fd:
+    """Take an additional reference on an open handle."""
+    fd.refs += 1
+    return fd
+
+
+# ---------------------------------------------------------------------- #
+# data path
+# ---------------------------------------------------------------------- #
+
+
+def plfs_write(fd: Plfs_fd, buf, count: int | None = None, offset: int = 0, pid: int | None = None) -> int:
+    """Write ``buf[:count]`` at logical *offset*; returns bytes written."""
+    if fd.writer is None:
+        raise BadFlagsError("handle not open for writing")
+    data = bytes(buf) if not isinstance(buf, (bytes, bytearray, memoryview)) else buf
+    if count is not None:
+        data = memoryview(data)[:count]
+    n = fd.writer.write(data, offset, fd.pid if pid is None else pid)
+    fd.mark_dirty()
+    return n
+
+
+def plfs_read(fd: Plfs_fd, count: int, offset: int) -> bytes:
+    """Read up to *count* bytes at *offset* (returns ``b""`` at EOF)."""
+    if not fd.readable:
+        raise BadFlagsError("handle not open for reading")
+    return fd.reader().read(count, offset)
+
+
+def plfs_read_into(fd: Plfs_fd, buf, offset: int) -> int:
+    """C-style variant filling a caller buffer; returns bytes read."""
+    if not fd.readable:
+        raise BadFlagsError("handle not open for reading")
+    return fd.reader().read_into(buf, offset)
+
+
+def plfs_sync(fd: Plfs_fd, pid: int | None = None) -> None:
+    """Flush buffered index records and fsync data droppings."""
+    if fd.writer is not None:
+        fd.writer.sync()
+
+
+# ---------------------------------------------------------------------- #
+# metadata
+# ---------------------------------------------------------------------- #
+
+
+def plfs_getattr(fd_or_path: Plfs_fd | str, *, size_only: bool = False) -> os.stat_result:
+    """Stat the logical file (size = logical size from index or meta)."""
+    if isinstance(fd_or_path, Plfs_fd):
+        container = fd_or_path.container
+        if fd_or_path.writer is not None:
+            # An open writer knows its own high-water mark; combine with the
+            # on-disk view so handles stat correctly mid-write.  Building
+            # the index is a metadata operation and is legal even on a
+            # write-only handle (O_APPEND needs it to find the end).
+            disk = container.cached_size()
+            if disk is None:
+                from .reader import ReadFile  # local import: avoid cycle
+
+                probe = ReadFile(container, writer=fd_or_path.writer)
+                try:
+                    disk = probe.logical_size()
+                finally:
+                    probe.close()
+            size = max(disk, fd_or_path.writer.max_logical_end)
+            return container.getattr(size=size)
+        return container.getattr()
+    container = Container(fd_or_path)
+    return container.getattr()
+
+
+def plfs_access(path: str, amode: int) -> bool:
+    """POSIX ``access`` on the logical file."""
+    container = Container(path)
+    if not container.exists():
+        raise ContainerNotFoundError(f"no such file: {path}")
+    # Containers are directories on the backend; delegate permission checks.
+    return os.access(path, amode)
+
+
+def plfs_exists(path: str) -> bool:
+    return is_container(path)
+
+
+def plfs_unlink(path: str) -> None:
+    Container(path).unlink()
+
+
+def plfs_create(path: str, mode: int = 0o644, pid: int | None = None) -> None:
+    """``creat``-like: make an empty logical file."""
+    Container(path).create(mode, pid=os.getpid() if pid is None else pid)
+
+
+def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
+    """Truncate the logical file to *offset* bytes.
+
+    ``offset == 0`` wipes the droppings (the fast path used by ``O_TRUNC``).
+    Shrinking rewrites the container through compaction clipped at *offset*;
+    growing writes a single zero byte at ``offset - 1`` (the extended region
+    reads back as zeros either way).  The C library takes the same
+    fast/slow split.
+    """
+    if isinstance(fd_or_path, Plfs_fd):
+        fd, path = fd_or_path, fd_or_path.path
+        container = fd.container
+    else:
+        fd, path = None, fd_or_path
+        container = Container(path)
+    if not container.exists():
+        raise ContainerNotFoundError(f"no such file: {path}")
+
+    if offset == 0:
+        if fd is not None and fd.writer is not None:
+            fd.writer.close()
+            container.wipe_data()
+            fd.writer = WriteFile(container)
+        else:
+            container.wipe_data()
+        if fd is not None:
+            fd.invalidate_reader()
+        return
+
+    current = plfs_getattr(fd if fd is not None else path).st_size
+    if offset == current:
+        return
+    if offset > current:
+        if fd is not None and fd.writer is not None:
+            plfs_write(fd, b"\x00", 1, offset - 1)
+        else:
+            tmp = plfs_open(path, os.O_WRONLY, mode=0o644)
+            try:
+                plfs_write(tmp, b"\x00", 1, offset - 1)
+            finally:
+                plfs_close(tmp)
+        return
+
+    # Shrink: compact the flattened index clipped at *offset*.  An open
+    # writer must be recycled: its droppings are replaced by the compaction
+    # and its high-water mark would otherwise report the pre-shrink size.
+    if fd is not None and fd.writer is not None:
+        fd.writer.close()
+        plfs_flatten_index(path, clip=offset)
+        fd.writer = WriteFile(container)
+    else:
+        plfs_flatten_index(path, clip=offset)
+    if fd is not None:
+        fd.invalidate_reader()
+
+
+def plfs_rename(path: str, new_path: str) -> None:
+    Container(path).rename(new_path)
+
+
+# ---------------------------------------------------------------------- #
+# directory operations (pass-throughs with container awareness)
+# ---------------------------------------------------------------------- #
+
+
+def plfs_mkdir(path: str, mode: int = 0o755) -> None:
+    os.mkdir(path, mode)
+
+
+def plfs_rmdir(path: str) -> None:
+    rmdir_logical(path)
+
+
+def plfs_readdir(path: str) -> list[str]:
+    return readdir_logical(path)
+
+
+# ---------------------------------------------------------------------- #
+# maintenance utilities
+# ---------------------------------------------------------------------- #
+
+
+def plfs_flatten_index(path: str, *, clip: int | None = None) -> int:
+    """Compact a container into a single (data, index) dropping pair.
+
+    Rewrites the flattened logical content sequentially, discarding
+    overwritten log garbage; with *clip* the content is truncated to that
+    many logical bytes first.  Returns the new physical byte count.  This is
+    the ``plfs_flatten_index`` maintenance tool from the C distribution and
+    the slow path for shrink-truncate.
+    """
+    container = Container(path)
+    reader = ReadFile(container)
+    try:
+        segments = reader.index.segments()
+        if clip is not None:
+            segments = [
+                (s, min(e, clip), d, p) for (s, e, d, p) in segments if s < clip
+            ]
+        # Read every surviving extent *before* wiping the droppings.
+        chunks: list[tuple[int, bytes]] = []
+        for start, end, _, _ in segments:
+            chunks.append((start, reader.read(end - start, start)))
+    finally:
+        reader.close()
+
+    container.wipe_data()
+    writer = WriteFile(container)
+    try:
+        pid = os.getpid()
+        for start, data in chunks:
+            writer.write(data, start, pid)
+        writer.sync()
+        physical = writer.total_written
+        last = writer.max_logical_end
+    finally:
+        writer.close()
+    if clip is not None and clip > last:
+        # Preserve a trailing hole created by a shrink inside a hole.
+        tmp = plfs_open(path, os.O_WRONLY)
+        try:
+            plfs_write(tmp, b"\x00", 1, clip - 1)
+        finally:
+            plfs_close(tmp)
+        last = clip
+        physical += 1
+    container.clear_meta()
+    if physical:
+        container.drop_meta(last, physical)
+    return physical
+
+
+def plfs_map(path: str) -> list[tuple[int, int, int, int]]:
+    """Return the flattened extent map of a container: a list of
+    (logical_start, logical_end, dropping_id, physical_offset) tuples —
+    the ``plfs_map`` inspection tool."""
+    container = Container(path)
+    reader = ReadFile(container)
+    try:
+        return reader.index.segments()
+    finally:
+        reader.close()
+
+
+def plfs_dump_index(path: str) -> bytes:
+    """Serialise the flattened index (for debugging / archival)."""
+    container = Container(path)
+    reader = ReadFile(container)
+    try:
+        import numpy as np
+
+        from .index import INDEX_DTYPE
+
+        segs = reader.index.segments()
+        recs = np.zeros(len(segs), dtype=INDEX_DTYPE)
+        for i, (start, end, dropping, phys) in enumerate(segs):
+            recs[i]["logical_offset"] = start
+            recs[i]["length"] = end - start
+            recs[i]["dropping"] = dropping
+            recs[i]["physical_offset"] = phys
+            recs[i]["timestamp"] = unique_timestamp()
+        return pack_records(recs)
+    finally:
+        reader.close()

@@ -1,0 +1,46 @@
+"""On-disk names and magic values for the PLFS container format.
+
+The layout follows the PLFS 2.x container structure described in the paper
+(Fig. 1) and in Bent et al., SC'09: a logical file is a directory on the
+backend file system holding one ``hostdir.N`` sub-directory per writing host,
+each containing *data droppings* (the log) and *index droppings* (the maps
+from logical file offsets to extents inside the data droppings).
+"""
+
+from __future__ import annotations
+
+#: Marker file that makes a backend directory recognisable as a PLFS
+#: container rather than a plain directory.  The numeric suffix matches the
+#: magic used by the original C implementation.
+ACCESS_FILE = ".plfsaccess113918400"
+
+#: Records which host/pid created the container and when.
+CREATOR_FILE = "creator"
+
+#: Directory holding one marker file per host that currently has the
+#: container open for writing (used to decide whether cached metadata in
+#: ``META_DIR`` can be trusted).
+OPENHOSTS_DIR = "openhosts"
+
+#: Directory of cached-metadata droppings written at close time; each file is
+#: named ``<last_offset>.<total_bytes>.<host>``.
+META_DIR = "meta"
+
+#: Prefix of the per-host data/index sub-directories: ``hostdir.0`` ...
+HOSTDIR_PREFIX = "hostdir."
+
+#: Data dropping file name prefix: ``dropping.data.<ts>.<host>.<pid>``.
+DATA_PREFIX = "dropping.data."
+
+#: Index dropping file name prefix: ``dropping.index.<ts>.<host>.<pid>``.
+INDEX_PREFIX = "dropping.index."
+
+#: Number of ``hostdir.N`` buckets a container is created with.  Hosts hash
+#: into a bucket, so the bucket count bounds backend-directory fan-out.
+NUM_HOSTDIRS = 32
+
+#: Version tag written into the creator file; bump on incompatible change.
+FORMAT_VERSION = 1
+
+#: Sentinel dropping id used in a read plan for a hole (unwritten region).
+HOLE = -1

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the PLFS library.
+
+The C library reports failures through negative errno returns; the Python
+port raises :class:`OSError` subclasses carrying the equivalent ``errno`` so
+that the interposition layer (``repro.core``) can surface them to
+applications exactly as the corresponding POSIX call would.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class PlfsError(OSError):
+    """Base class for all PLFS failures.
+
+    Always carries a meaningful ``errno`` so shim code can re-raise it as the
+    corresponding POSIX failure.
+    """
+
+    default_errno = errno.EIO
+
+    def __init__(self, message: str, err: int | None = None):
+        super().__init__(err if err is not None else self.default_errno, message)
+
+
+class NotAContainerError(PlfsError):
+    """The backend path exists but is not a PLFS container."""
+
+    default_errno = errno.EINVAL
+
+
+class ContainerNotFoundError(PlfsError):
+    """The backend path does not exist."""
+
+    default_errno = errno.ENOENT
+
+
+class ContainerExistsError(PlfsError):
+    """O_CREAT|O_EXCL on an existing container."""
+
+    default_errno = errno.EEXIST
+
+
+class BadFlagsError(PlfsError):
+    """Operation not permitted by the flags the handle was opened with."""
+
+    default_errno = errno.EBADF
+
+
+class CorruptIndexError(PlfsError):
+    """An index dropping failed to parse (truncated or malformed record)."""
+
+    default_errno = errno.EIO
+
+
+class IsAContainerError(PlfsError):
+    """A directory operation was attempted on a container (e.g. rmdir)."""
+
+    default_errno = errno.EISDIR

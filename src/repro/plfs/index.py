@@ -1,0 +1,321 @@
+"""PLFS index records, droppings and the global (flattened) index.
+
+Every write into a PLFS container appends the payload to a *data dropping*
+and one fixed-size record to the sibling *index dropping*.  A record maps a
+logical extent of the file onto a physical extent of one data dropping:
+
+    [logical_offset, logical_offset + length)
+        -> data dropping ``dropping`` at [physical_offset, physical_offset + length)
+
+Reads require the *global index*: the union of all records from all index
+droppings, with overlaps resolved in favour of the most recent write (by the
+record's completion timestamp).  This module stores records as a NumPy
+structured array, resolves overlaps with a sweep over an ordered extent map,
+and answers range queries with ``np.searchsorted`` over the flattened,
+non-overlapping extents — the vectorised formulation recommended by the
+project's performance guides.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import constants
+from .errors import CorruptIndexError
+
+#: On-disk/in-memory layout of one index record.  ``dropping`` is the id of
+#: the data dropping *within one index dropping's scope* when on disk (always
+#: 0 today: one index dropping describes exactly one data dropping, as in
+#: PLFS); after loading, it is rewritten to a global dropping id.
+INDEX_DTYPE = np.dtype(
+    [
+        ("logical_offset", "<u8"),
+        ("physical_offset", "<u8"),
+        ("length", "<u8"),
+        ("dropping", "<i8"),
+        ("pid", "<i8"),
+        ("timestamp", "<f8"),
+    ]
+)
+
+RECORD_SIZE = INDEX_DTYPE.itemsize
+
+
+def pack_records(records: np.ndarray) -> bytes:
+    """Serialise a structured record array to the on-disk byte format."""
+    if records.dtype != INDEX_DTYPE:
+        records = records.astype(INDEX_DTYPE)
+    return records.tobytes()
+
+
+def parse_records(data: bytes, *, source: str = "<memory>") -> np.ndarray:
+    """Parse raw index dropping bytes into a structured record array.
+
+    Raises :class:`CorruptIndexError` if the byte count is not a whole number
+    of records.
+    """
+    if len(data) % RECORD_SIZE:
+        raise CorruptIndexError(
+            f"index dropping {source} is {len(data)} bytes, "
+            f"not a multiple of the {RECORD_SIZE}-byte record size"
+        )
+    # Copy so the result owns its memory (the input buffer may be mmapped or
+    # reused by the caller).
+    return np.frombuffer(data, dtype=INDEX_DTYPE).copy()
+
+
+def read_index_dropping(path: str) -> np.ndarray:
+    """Read and parse one index dropping file."""
+    with open(path, "rb") as fh:
+        return parse_records(fh.read(), source=path)
+
+
+@dataclass(frozen=True)
+class ReadSlice:
+    """One contiguous piece of a read plan.
+
+    ``dropping`` is a global data-dropping id, or :data:`constants.HOLE` for
+    a region no write ever covered (reads back as zeros).
+    """
+
+    logical_offset: int
+    length: int
+    dropping: int
+    physical_offset: int
+
+    @property
+    def is_hole(self) -> bool:
+        return self.dropping == constants.HOLE
+
+
+class ExtentMap:
+    """Ordered map of non-overlapping logical extents.
+
+    Supports "assign" semantics: inserting an extent overwrites any part of
+    older extents it overlaps, splitting them as needed — exactly the
+    resolution rule of the PLFS global index (later writes shadow earlier
+    ones).  Backed by three parallel Python lists kept sorted by start
+    offset; inserts are O(log n + k) for k displaced segments.
+    """
+
+    __slots__ = ("_starts", "_ends", "_payloads")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        # payload = (dropping, physical_offset at segment start)
+        self._payloads: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def assign(self, start: int, end: int, dropping: int, physical_offset: int) -> None:
+        """Map [start, end) to *dropping* at *physical_offset*, shadowing
+        whatever was there before."""
+        if end <= start:
+            return
+        starts, ends, payloads = self._starts, self._ends, self._payloads
+
+        # Find the window of existing segments that overlap [start, end).
+        # First segment whose end is > start:
+        lo = bisect_right(ends, start)
+        # First segment whose start is >= end:
+        hi = bisect_left(starts, end, lo=lo)
+
+        replacement_starts: list[int] = []
+        replacement_ends: list[int] = []
+        replacement_payloads: list[tuple[int, int]] = []
+
+        if lo < hi:
+            # Left fragment of the first overlapped segment survives.
+            if starts[lo] < start:
+                replacement_starts.append(starts[lo])
+                replacement_ends.append(start)
+                replacement_payloads.append(payloads[lo])
+            # Right fragment of the last overlapped segment survives, with
+            # its physical offset advanced by the clipped amount.
+            last = hi - 1
+            if ends[last] > end:
+                drop, phys = payloads[last]
+                replacement_starts.append(end)
+                replacement_ends.append(ends[last])
+                replacement_payloads.append((drop, phys + (end - starts[last])))
+
+        # Insert the new segment in order.
+        insert_at = len(replacement_starts) - (1 if replacement_starts and replacement_starts[-1] == end else 0)
+        replacement_starts.insert(insert_at, start)
+        replacement_ends.insert(insert_at, end)
+        replacement_payloads.insert(insert_at, (dropping, physical_offset))
+
+        starts[lo:hi] = replacement_starts
+        ends[lo:hi] = replacement_ends
+        payloads[lo:hi] = replacement_payloads
+
+    def extent_end(self) -> int:
+        """Logical size implied by the map (end of the last extent)."""
+        return self._ends[-1] if self._ends else 0
+
+    def segments(self) -> list[tuple[int, int, int, int]]:
+        """All segments as (start, end, dropping, physical_offset) tuples."""
+        return [
+            (s, e, p[0], p[1])
+            for s, e, p in zip(self._starts, self._ends, self._payloads)
+        ]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Segments as parallel NumPy arrays (starts, ends, droppings, phys)."""
+        n = len(self._starts)
+        starts = np.fromiter(self._starts, dtype=np.int64, count=n)
+        ends = np.fromiter(self._ends, dtype=np.int64, count=n)
+        drops = np.fromiter((p[0] for p in self._payloads), dtype=np.int64, count=n)
+        phys = np.fromiter((p[1] for p in self._payloads), dtype=np.int64, count=n)
+        return starts, ends, drops, phys
+
+
+class GlobalIndex:
+    """The flattened, queryable index of one logical PLFS file.
+
+    Built from any number of record arrays (one per index dropping, plus any
+    not-yet-flushed in-memory records of open writers).  Records are merged
+    in timestamp order so later writes shadow earlier ones, then frozen into
+    sorted NumPy arrays for O(log n) range queries.
+    """
+
+    def __init__(self, record_arrays: list[np.ndarray] | None = None):
+        self._map = ExtentMap()
+        self._frozen: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        if record_arrays:
+            self.add_records(np.concatenate(record_arrays) if len(record_arrays) > 1 else record_arrays[0])
+
+    def add_records(self, records: np.ndarray) -> None:
+        """Merge *records* (with global dropping ids) into the index."""
+        if records.size == 0:
+            return
+        self._frozen = None
+        # Stable sort by completion timestamp: later records must be applied
+        # last so they shadow earlier ones.  kind="stable" preserves the
+        # append order of records with equal timestamps from one dropping.
+        order = np.argsort(records["timestamp"], kind="stable")
+        recs = records[order]
+        assign = self._map.assign
+        lo = recs["logical_offset"].astype(np.int64)
+        ln = recs["length"].astype(np.int64)
+        po = recs["physical_offset"].astype(np.int64)
+        dr = recs["dropping"]
+        for i in range(recs.shape[0]):
+            assign(int(lo[i]), int(lo[i] + ln[i]), int(dr[i]), int(po[i]))
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._frozen is None:
+            self._frozen = self._map.as_arrays()
+        return self._frozen
+
+    @property
+    def logical_size(self) -> int:
+        """Size of the logical file: one past the last written byte."""
+        return self._map.extent_end()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def query(self, offset: int, length: int) -> list[ReadSlice]:
+        """Plan a read of [offset, offset+length).
+
+        Returns contiguous :class:`ReadSlice` pieces covering the requested
+        range up to the logical file size; regions never written are returned
+        as holes.  The plan never extends past ``logical_size`` (a read at or
+        beyond EOF returns an empty plan, mirroring ``read(2)``).
+        """
+        if length <= 0:
+            return []
+        size = self.logical_size
+        if offset >= size:
+            return []
+        end = min(offset + length, size)
+
+        starts, ends, drops, phys = self._arrays()
+        plan: list[ReadSlice] = []
+        pos = offset
+        # First segment that could overlap: last segment with start <= pos.
+        i = int(np.searchsorted(starts, pos, side="right")) - 1
+        if i < 0 or int(ends[i]) <= pos:
+            i += 1
+        while pos < end:
+            if i >= len(starts) or int(starts[i]) >= end:
+                plan.append(ReadSlice(pos, end - pos, constants.HOLE, 0))
+                break
+            seg_start, seg_end = int(starts[i]), int(ends[i])
+            if seg_start > pos:
+                gap_end = min(seg_start, end)
+                plan.append(ReadSlice(pos, gap_end - pos, constants.HOLE, 0))
+                pos = gap_end
+                continue
+            take_end = min(seg_end, end)
+            skip = pos - seg_start
+            plan.append(
+                ReadSlice(pos, take_end - pos, int(drops[i]), int(phys[i]) + skip)
+            )
+            pos = take_end
+            i += 1
+        return plan
+
+    def segments(self) -> list[tuple[int, int, int, int]]:
+        """Expose the flattened extents (for compaction and inspection)."""
+        return self._map.segments()
+
+
+def load_global_index(
+    droppings: list[tuple[str, str]],
+    extra_records: list[tuple[np.ndarray, int]] | None = None,
+) -> tuple[GlobalIndex, list[str]]:
+    """Build a :class:`GlobalIndex` from container droppings.
+
+    ``droppings`` is a list of (index_path, data_path) pairs; ``data_path``
+    receives global dropping id = its position in the returned list.
+    ``extra_records`` optionally supplies in-memory record arrays (from open
+    writers) already tagged with a data path index into the same list via the
+    accompanying int.
+
+    Returns (index, data_paths) where ``data_paths[i]`` is the file to pread
+    for slices with ``dropping == i``.
+    """
+    arrays: list[np.ndarray] = []
+    data_paths: list[str] = []
+    for global_id, (index_path, data_path) in enumerate(droppings):
+        data_paths.append(data_path)
+        if not os.path.exists(index_path):
+            continue
+        recs = read_index_dropping(index_path)
+        if recs.size:
+            recs["dropping"] = global_id
+            arrays.append(recs)
+    if extra_records:
+        for recs, global_id in extra_records:
+            if recs.size:
+                recs = recs.copy()
+                recs["dropping"] = global_id
+                arrays.append(recs)
+    return GlobalIndex(arrays), data_paths
+
+
+def make_record(
+    logical_offset: int,
+    physical_offset: int,
+    length: int,
+    pid: int,
+    timestamp: float,
+    dropping: int = 0,
+) -> np.ndarray:
+    """Build a single-record array (convenience for writers and tests)."""
+    rec = np.zeros(1, dtype=INDEX_DTYPE)
+    rec["logical_offset"] = logical_offset
+    rec["physical_offset"] = physical_offset
+    rec["length"] = length
+    rec["dropping"] = dropping
+    rec["pid"] = pid
+    rec["timestamp"] = timestamp
+    return rec

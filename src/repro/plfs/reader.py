@@ -1,0 +1,140 @@
+"""The PLFS read path: global index construction and scatter-gather reads.
+
+Reading a PLFS file requires merging every index dropping into a global
+index (overlaps resolved by recency), then servicing each read as a series
+of ``pread`` calls into the data droppings named by the plan.  This is the
+"reorder on read" half of the log-structured design: writes were laid down
+sequentially, so reads pay the reassembly cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .container import Container
+from .errors import CorruptIndexError
+from .index import GlobalIndex, ReadSlice, load_global_index
+from .writer import WriteFile
+
+
+class ReadFile:
+    """Read handle on a container.
+
+    The global index is built lazily on first read and invalidated with
+    :meth:`refresh` (e.g. after a same-process writer syncs).  If *writer*
+    is supplied, its unflushed in-memory records are merged in so that a
+    handle opened O_RDWR sees its own writes immediately — the same
+    guarantee plfs_read gives through the C API.
+    """
+
+    def __init__(self, container: Container, *, writer: WriteFile | None = None):
+        self.container = container
+        self._writer = writer
+        self._index: GlobalIndex | None = None
+        self._data_paths: list[str] = []
+        self._fd_cache: dict[int, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # index lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _build_index(self) -> None:
+        droppings = self.container.droppings()
+        extra: list = []
+        if self._writer is not None:
+            # Make sure on-disk index droppings are complete, then overlay
+            # anything still buffered (nothing, after flush — but a writer
+            # may be actively appending between our flush and read).
+            self._writer.flush_indexes()
+            path_to_id = {data: i for i, (_, data) in enumerate(droppings)}
+            for recs, data_path in self._writer.pending_records():
+                gid = path_to_id.get(data_path)
+                if gid is None:
+                    droppings.append(("", data_path))
+                    gid = len(droppings) - 1
+                    path_to_id[data_path] = gid
+                extra.append((recs, gid))
+        self._index, self._data_paths = load_global_index(droppings, extra)
+
+    def refresh(self) -> None:
+        """Invalidate the cached global index (picks up new droppings)."""
+        self._index = None
+        for fd in self._fd_cache.values():
+            os.close(fd)
+        self._fd_cache.clear()
+
+    @property
+    def index(self) -> GlobalIndex:
+        if self._index is None:
+            self._build_index()
+        assert self._index is not None
+        return self._index
+
+    def logical_size(self) -> int:
+        return self.index.logical_size
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+
+    def _fd_for(self, dropping: int) -> int:
+        fd = self._fd_cache.get(dropping)
+        if fd is None:
+            fd = os.open(self._data_paths[dropping], os.O_RDONLY)
+            self._fd_cache[dropping] = fd
+        return fd
+
+    def _read_slice(self, piece: ReadSlice) -> bytes:
+        if piece.is_hole:
+            return b"\x00" * piece.length
+        fd = self._fd_for(piece.dropping)
+        data = os.pread(fd, piece.length, piece.physical_offset)
+        if len(data) < piece.length:
+            # The index promised bytes the data dropping does not hold.
+            raise CorruptIndexError(
+                f"short read from dropping {self._data_paths[piece.dropping]}: "
+                f"wanted {piece.length} at {piece.physical_offset}, got {len(data)}"
+            )
+        return data
+
+    def read(self, count: int, offset: int) -> bytes:
+        """Read up to *count* bytes at *offset*; b"" at or past EOF."""
+        if self._closed:
+            raise ValueError("read on closed ReadFile")
+        plan = self.index.query(offset, count)
+        if not plan:
+            return b""
+        if len(plan) == 1:
+            return self._read_slice(plan[0])
+        return b"".join(self._read_slice(p) for p in plan)
+
+    def read_into(self, buf, offset: int) -> int:
+        """Fill *buf* (a writable buffer) from *offset*; returns bytes read."""
+        view = memoryview(buf)
+        data = self.read(len(view), offset)
+        view[: len(data)] = data
+        return len(data)
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for fd in self._fd_cache.values():
+            os.close(fd)
+        self._fd_cache.clear()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def logical_size(container: Container) -> int:
+    """Compute a container's logical size by building its global index.
+
+    Used by ``getattr`` when no trustworthy cached metadata exists.
+    """
+    index, _ = load_global_index(container.droppings())
+    return index.logical_size

@@ -1,0 +1,206 @@
+"""Container maintenance tools: check, recover, usage reporting.
+
+The C distribution ships ``plfs_check_map``/``plfs_recover`` for exactly
+these jobs: verifying that a container's index and data droppings agree,
+and rebuilding metadata after a crash left the container without meta
+droppings (or with stale openhost markers).  Run from Python or as::
+
+    python -m repro.plfs.tools check   /backend/file
+    python -m repro.plfs.tools recover /backend/file
+    python -m repro.plfs.tools usage   /backend/file
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+
+from . import constants, util
+from .container import Container, assert_container
+from .errors import CorruptIndexError
+from .index import load_global_index, read_index_dropping
+
+
+@dataclass
+class ContainerReport:
+    """Outcome of :func:`plfs_check`."""
+
+    path: str
+    ok: bool = True
+    logical_size: int = 0
+    physical_bytes: int = 0
+    droppings: int = 0
+    records: int = 0
+    #: physical bytes shadowed by later writes (reclaimable by flatten)
+    garbage_bytes: int = 0
+    problems: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def problem(self, message: str) -> None:
+        self.ok = False
+        self.problems.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    @property
+    def garbage_ratio(self) -> float:
+        if self.physical_bytes == 0:
+            return 0.0
+        return self.garbage_bytes / self.physical_bytes
+
+    def render(self) -> str:
+        lines = [
+            f"container : {self.path}",
+            f"status    : {'OK' if self.ok else 'BROKEN'}",
+            f"logical   : {self.logical_size} bytes",
+            f"physical  : {self.physical_bytes} bytes in {self.droppings} droppings",
+            f"records   : {self.records}",
+            f"garbage   : {self.garbage_bytes} bytes ({self.garbage_ratio:.0%})",
+        ]
+        for p in self.problems:
+            lines.append(f"PROBLEM   : {p}")
+        for w in self.warnings:
+            lines.append(f"warning   : {w}")
+        return "\n".join(lines)
+
+
+def plfs_check(path: str) -> ContainerReport:
+    """Verify a container's internal consistency.
+
+    Checks performed:
+
+    - every index dropping parses (record-size aligned);
+    - every data dropping has its sibling index dropping and vice versa;
+    - every index record's physical extent lies inside its data dropping;
+    - cached metadata (``meta/``) does not contradict the index;
+    - stale openhost markers are reported (crashed writers).
+
+    Never modifies the container.
+    """
+    report = ContainerReport(path=os.path.abspath(path))
+    assert_container(path)
+    container = Container(path)
+
+    pairs = container.droppings()
+    report.droppings = len(pairs)
+
+    live_bytes = 0
+    for index_path, data_path in pairs:
+        try:
+            data_size = os.path.getsize(data_path)
+        except FileNotFoundError:
+            report.problem(f"data dropping missing: {data_path}")
+            continue
+        report.physical_bytes += data_size
+        if not os.path.exists(index_path):
+            report.problem(f"index dropping missing for {data_path}")
+            continue
+        try:
+            records = read_index_dropping(index_path)
+        except CorruptIndexError as exc:
+            report.problem(str(exc))
+            continue
+        report.records += int(records.shape[0])
+        if records.shape[0]:
+            ends = records["physical_offset"] + records["length"]
+            overrun = int(ends.max()) - data_size
+            if overrun > 0:
+                report.problem(
+                    f"index promises {overrun} bytes past the end of "
+                    f"{data_path}"
+                )
+
+    # Orphan index droppings (index without data).
+    for entry in sorted(os.listdir(path)):
+        if not entry.startswith(constants.HOSTDIR_PREFIX):
+            continue
+        hostdir = os.path.join(path, entry)
+        if not os.path.isdir(hostdir):
+            continue
+        for name in sorted(os.listdir(hostdir)):
+            if name.startswith(constants.INDEX_PREFIX):
+                data_name = constants.DATA_PREFIX + name[len(constants.INDEX_PREFIX):]
+                if not os.path.exists(os.path.join(hostdir, data_name)):
+                    report.warn(f"orphan index dropping: {os.path.join(entry, name)}")
+
+    if report.ok:
+        index, _ = load_global_index(pairs)
+        report.logical_size = index.logical_size
+        live_bytes = sum(end - start for start, end, _, _ in index.segments())
+        report.garbage_bytes = max(0, report.physical_bytes - live_bytes)
+
+        cached = container.cached_size()
+        open_writers = container.open_writers()
+        if open_writers:
+            report.warn(
+                f"{len(open_writers)} openhost marker(s) present "
+                f"({', '.join(open_writers)}): writer crashed or still running"
+            )
+        elif cached is not None and cached != report.logical_size:
+            report.problem(
+                f"cached metadata says {cached} bytes but the index says "
+                f"{report.logical_size}"
+            )
+    return report
+
+
+def plfs_recover(path: str) -> ContainerReport:
+    """Repair recoverable damage: rebuild cached metadata from the index
+    and clear stale openhost markers.  Returns a post-repair check."""
+    assert_container(path)
+    container = Container(path)
+
+    # Stale markers: any marker whose writer cannot still exist (we treat
+    # all markers as stale — recovery runs when no writers are live, as
+    # the C tool requires).
+    for marker in container.open_writers():
+        try:
+            os.unlink(os.path.join(path, constants.OPENHOSTS_DIR, marker))
+        except FileNotFoundError:
+            pass
+
+    index, _ = load_global_index(container.droppings())
+    container.clear_meta()
+    physical = container.physical_bytes()
+    if physical or index.logical_size:
+        container.drop_meta(index.logical_size, physical)
+    return plfs_check(path)
+
+
+def plfs_usage(path: str) -> dict[str, int | float]:
+    """Space accounting for one container (logical vs physical vs garbage)."""
+    report = plfs_check(path)
+    return {
+        "logical_bytes": report.logical_size,
+        "physical_bytes": report.physical_bytes,
+        "garbage_bytes": report.garbage_bytes,
+        "garbage_ratio": report.garbage_ratio,
+        "droppings": report.droppings,
+        "records": report.records,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2 or argv[0] not in {"check", "recover", "usage"}:
+        print(__doc__, file=sys.stderr)
+        return 2
+    command, path = argv
+    if command == "check":
+        report = plfs_check(path)
+        print(report.render())
+        return 0 if report.ok else 1
+    if command == "recover":
+        report = plfs_recover(path)
+        print(report.render())
+        return 0 if report.ok else 1
+    usage = plfs_usage(path)
+    for key, value in usage.items():
+        print(f"{key:15s} {value}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""The PLFS write path: log-structured data droppings.
+
+A :class:`WriteFile` owns one (data, index) dropping pair per writing pid.
+Every ``write(buf, offset)`` appends the payload to the data dropping —
+strictly sequentially, regardless of the logical offset, which is the
+log-structuring that converts random application writes into sequential disk
+writes — and buffers one index record.  Records are flushed to the index
+dropping on ``sync``/``close``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from . import util
+from .container import Container
+from .errors import BadFlagsError
+from .index import INDEX_DTYPE, make_record, pack_records
+
+#: Flush buffered index records to disk after this many accumulate, bounding
+#: memory for very write-heavy workloads.
+INDEX_FLUSH_THRESHOLD = 4096
+
+
+class _Dropping:
+    """One open (data, index) dropping pair for a single pid."""
+
+    __slots__ = (
+        "data_path",
+        "index_path",
+        "data_fd",
+        "physical_offset",
+        "pending",
+        "records_written",
+        "records_merged",
+        "merge_records",
+    )
+
+    def __init__(self, hostdir: str, host: str, pid: int, *, merge_records: bool = True):
+        ts = util.unique_timestamp()
+        self.data_path = os.path.join(hostdir, util.data_dropping_name(host, pid, ts))
+        self.index_path = os.path.join(hostdir, util.index_dropping_name(host, pid, ts))
+        self.data_fd = os.open(
+            self.data_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        # Touch the index dropping immediately so readers pair it with the
+        # data dropping even before the first sync.
+        os.close(os.open(self.index_path, os.O_WRONLY | os.O_CREAT, 0o644))
+        self.physical_offset = 0
+        self.pending: list[np.ndarray] = []
+        self.records_written = 0
+        self.records_merged = 0
+        self.merge_records = merge_records
+
+    def _try_merge(self, logical_offset: int, length: int, pid: int) -> bool:
+        """Index compression: a write that continues the previous one both
+        logically and physically extends the last pending record instead
+        of adding a new one — the optimisation the C library applies to
+        keep sequential workloads from growing the index per call.
+
+        The merged record takes the *latest* timestamp.  That is only
+        sound when no other stream wrote in between (otherwise the whole
+        merged run would shadow an interleaved overwrite); the WriteFile
+        enforces that by allowing merges only for back-to-back writes to
+        the same dropping.
+        """
+        if not self.merge_records or not self.pending:
+            return False
+        last = self.pending[-1]
+        rec = last[-1]
+        if (
+            int(rec["pid"]) == pid
+            and int(rec["logical_offset"] + rec["length"]) == logical_offset
+            and int(rec["physical_offset"] + rec["length"]) == self.physical_offset
+        ):
+            last[-1]["length"] += length
+            last[-1]["timestamp"] = util.unique_timestamp()
+            self.records_merged += 1
+            return True
+        return False
+
+    def append(self, buf: bytes | bytearray | memoryview, logical_offset: int, pid: int) -> int:
+        written = os.write(self.data_fd, buf)
+        if not self._try_merge(logical_offset, written, pid):
+            self.pending.append(
+                make_record(
+                    logical_offset=logical_offset,
+                    physical_offset=self.physical_offset,
+                    length=written,
+                    pid=pid,
+                    timestamp=util.unique_timestamp(),
+                )
+            )
+        self.physical_offset += written
+        return written
+
+    def pending_records(self) -> np.ndarray:
+        if not self.pending:
+            return np.empty(0, dtype=INDEX_DTYPE)
+        return np.concatenate(self.pending)
+
+    def flush_index(self) -> None:
+        if not self.pending:
+            return
+        records = self.pending_records()
+        with open(self.index_path, "ab") as fh:
+            fh.write(pack_records(records))
+        self.records_written += records.shape[0]
+        self.pending.clear()
+
+    def sync(self) -> None:
+        self.flush_index()
+        os.fsync(self.data_fd)
+
+    def close(self) -> None:
+        self.flush_index()
+        os.close(self.data_fd)
+
+
+class WriteFile:
+    """Write handle on a container, multiplexing per-pid droppings.
+
+    Matches PLFS semantics: each pid that writes through the handle gets its
+    own dropping pair, giving every process a private file stream (the file
+    partitioning that removes shared-file lock contention).
+    """
+
+    def __init__(
+        self,
+        container: Container,
+        *,
+        host: str | None = None,
+        merge_records: bool = True,
+    ):
+        self.container = container
+        self.host = host or util.hostname()
+        self.hostdir = container.ensure_hostdir(self.host)
+        self._droppings: dict[int, _Dropping] = {}
+        self._max_logical_end = 0
+        self._total_written = 0
+        self._closed = False
+        self._merge_records = merge_records
+        self._last_dropping: _Dropping | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _dropping_for(self, pid: int) -> _Dropping:
+        d = self._droppings.get(pid)
+        if d is None:
+            d = _Dropping(self.hostdir, self.host, pid)
+            self._droppings[pid] = d
+        return d
+
+    def write(self, buf: bytes | bytearray | memoryview, offset: int, pid: int) -> int:
+        """Append *buf* for logical [offset, offset+len(buf)).  Returns the
+        byte count written (always the full buffer for regular files)."""
+        if self._closed:
+            raise BadFlagsError("write on closed WriteFile")
+        if isinstance(buf, memoryview):
+            buf = buf.tobytes()
+        dropping = self._dropping_for(pid)
+        # Record merging is only sound for back-to-back writes of the same
+        # stream: an intervening write from another pid must keep its own
+        # timestamp ordering against ours.
+        dropping.merge_records = self._merge_records and dropping is self._last_dropping
+        self._last_dropping = dropping
+        written = dropping.append(buf, offset, pid)
+        end = offset + written
+        if end > self._max_logical_end:
+            self._max_logical_end = end
+        self._total_written += written
+        d = self._droppings[pid]
+        if len(d.pending) >= INDEX_FLUSH_THRESHOLD:
+            d.flush_index()
+        return written
+
+    # ------------------------------------------------------------------ #
+    # visibility for readers on the same handle / process
+    # ------------------------------------------------------------------ #
+
+    def pending_records(self) -> list[tuple[np.ndarray, str]]:
+        """Unflushed index records per data dropping path, so a reader in
+        the same process can see writes that have not been synced yet."""
+        out: list[tuple[np.ndarray, str]] = []
+        for d in self._droppings.values():
+            recs = d.pending_records()
+            if recs.size:
+                out.append((recs, d.data_path))
+        return out
+
+    @property
+    def max_logical_end(self) -> int:
+        return self._max_logical_end
+
+    @property
+    def total_written(self) -> int:
+        return self._total_written
+
+    @property
+    def dropping_count(self) -> int:
+        return len(self._droppings)
+
+    # ------------------------------------------------------------------ #
+
+    def sync(self) -> None:
+        for d in self._droppings.values():
+            d.sync()
+
+    def flush_indexes(self) -> None:
+        for d in self._droppings.values():
+            d.flush_index()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for d in self._droppings.values():
+            d.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,238 @@
+"""A small deterministic discrete-event simulation core.
+
+Generator-based processes in the style of SimPy, self-contained so the
+simulator has no dependencies beyond the standard library:
+
+- :class:`Environment` owns simulated time and the event heap.
+- :class:`Event` is a one-shot occurrence that processes wait on.
+- :class:`Process` wraps a generator; each ``yield``-ed event suspends the
+  process until the event fires.
+
+Determinism: events scheduled for the same instant fire in schedule order
+(a monotone sequence number breaks ties), so identical runs produce
+identical traces — required for reproducible benchmark output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimError(RuntimeError):
+    """Misuse of the simulation core (e.g. triggering an event twice)."""
+
+
+class Event:
+    """A one-shot event; processes ``yield`` it to wait for it."""
+
+    __slots__ = ("env", "callbacks", "_ok", "_value", "_pending_schedule")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._ok: bool | None = None
+        self._value: Any = None
+        self._pending_schedule = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception has been set (it may not yet have
+        been processed from the heap)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """Fires after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired (a barrier/join)."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._ok is False:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(None)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` objects; the value sent back into
+    the generator is the event's value.  A failed event is thrown into the
+    generator as an exception.  The generator's ``return`` value becomes
+    the process event's value.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator):
+        super().__init__(env)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process body must be a generator, got {type(gen)!r}")
+        self._gen = gen
+        # Kick off at the current instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        while True:
+            try:
+                if trigger._ok:
+                    target = self._gen.send(trigger._value)
+                else:
+                    target = self._gen.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if self.env.strict:
+                    raise
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                raise SimError(
+                    f"process yielded {target!r}; processes must yield events"
+                )
+            if target.env is not self.env:
+                raise SimError("process yielded an event from another Environment")
+            if target.processed:
+                trigger = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+
+class Environment:
+    """Simulated clock plus the pending-event heap."""
+
+    def __init__(self, *, strict: bool = True):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: strict=True re-raises process exceptions immediately (best for
+        #: tests); strict=False converts them into failed process events.
+        self.strict = strict
+
+    # ------------------------------------------------------------------ #
+    # event construction
+    # ------------------------------------------------------------------ #
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------ #
+    # scheduling / execution
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._pending_schedule:
+            raise SimError("event already scheduled")
+        event._pending_schedule = True
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap empties, *until* (a time) passes, or *until*
+        (an event) fires.  Returns the event's value in the last case."""
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if stop._ok is False:
+                raise stop._value
+            return stop._value
+        horizon = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        if until is not None and horizon > self.now:
+            # The clock stands at the horizon after running to a time.
+            self.now = horizon
+        return None

@@ -1,0 +1,184 @@
+"""Shared-resource primitives for the simulator.
+
+- :class:`Resource` — FCFS server pool (n concurrent holders), used for
+  NICs, disk channels, the MDS and lock tokens.
+- :class:`Tank` — a continuous-capacity container with blocking put/get,
+  used for the client write-back cache (dirty bytes).
+- :class:`BandwidthPipe` — a convenience wrapping a Resource that converts
+  byte counts into occupancy time at a fixed bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from .engine import Environment, Event
+
+
+class Resource:
+    """FCFS resource with *capacity* concurrent holders."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+        #: total time-weighted occupancy (for utilisation reports)
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    # -- accounting ----------------------------------------------------- #
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilisation(self, horizon: float | None = None) -> float:
+        """Mean busy fraction over [0, horizon] (defaults to now)."""
+        self._account()
+        horizon = self.env.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time / (horizon * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- protocol -------------------------------------------------------- #
+
+    def request(self) -> Event:
+        """Returns an event that fires when a slot is granted."""
+        ev = self.env.event()
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter (occupancy
+            # unchanged).
+            self._waiters.popleft().succeed()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Process helper: hold one slot for *duration*::
+
+            yield from resource.use(service_time)
+        """
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+
+class BandwidthPipe:
+    """A link of fixed bandwidth with *capacity* parallel channels.
+
+    ``transfer(nbytes)`` occupies one channel for ``nbytes / bandwidth``
+    seconds plus the fixed per-message latency.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        *,
+        latency: float = 0.0,
+        capacity: int = 1,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.resource = Resource(env, capacity)
+
+    def transfer_time(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float) -> Generator:
+        yield from self.resource.use(self.transfer_time(nbytes))
+
+    def utilisation(self, horizon: float | None = None) -> float:
+        return self.resource.utilisation(horizon)
+
+
+class Tank:
+    """Continuous-level container with blocking put/get.
+
+    ``put`` blocks while the tank lacks free space; ``get`` blocks while it
+    lacks content.  Used to model dirty-page budgets: writers ``put`` dirty
+    bytes, the drain process ``get``s them out as the disk absorbs data.
+    """
+
+    def __init__(self, env: Environment, capacity: float, level: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= level <= capacity:
+            raise ValueError("initial level out of range")
+        self.env = env
+        self.capacity = capacity
+        self.level = level
+        self._putters: deque[tuple[Event, float]] = deque()
+        self._getters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if amount > self.capacity:
+            raise ValueError(
+                f"put of {amount} can never fit capacity {self.capacity}"
+            )
+        ev = self.env.event()
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = self.env.event()
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get_up_to(self, amount: float) -> float:
+        """Non-blocking: immediately drain up to *amount*; returns taken."""
+        taken = min(amount, self.level)
+        if taken > 0:
+            self.level -= taken
+            self._settle()
+        return taken
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and self._putters[0][1] <= self.free:
+                ev, amount = self._putters.popleft()
+                self.level += amount
+                ev.succeed()
+                progressed = True
+            if self._getters and self._getters[0][1] <= self.level:
+                ev, amount = self._getters.popleft()
+                self.level -= amount
+                ev.succeed()
+                progressed = True

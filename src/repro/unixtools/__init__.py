@@ -1,0 +1,33 @@
+"""``repro.unixtools`` — unmodified POSIX applications for Table II.
+
+Faithful Python implementations of the UNIX tools the paper runs over PLFS
+containers through LDPLFS (`cp`, `cat`, `grep`, `md5sum`, plus `ls` and
+`wc` for convenience).  They are written purely against ``builtins.open``
+and the ``os`` module — *no PLFS imports* — so that running them under
+:func:`repro.core.interposed` demonstrates exactly the paper's claim: an
+application that knows nothing about PLFS transparently operates on PLFS
+containers once the shim is loaded.
+"""
+
+from .cat import cat
+from .cmp import cmp
+from .cp import cp
+from .dd import dd
+from .grep import grep
+from .headtail import head, tail
+from .ls import ls
+from .md5sum import md5sum
+from .wc import wc
+
+__all__ = [
+    "cat",
+    "cp",
+    "grep",
+    "md5sum",
+    "ls",
+    "wc",
+    "dd",
+    "head",
+    "tail",
+    "cmp",
+]

@@ -1,0 +1,163 @@
+"""``ldplfs`` command-line entry point.
+
+Runs the bundled UNIX tools with interposition active, so containers under
+the configured mounts behave as ordinary files — the paper's "extract raw
+data from PLFS structures without a FUSE file system" use case::
+
+    ldplfs --mount /mnt/plfs:/scratch/backend cat /mnt/plfs/output.dat
+    ldplfs --mount /mnt/plfs:/scratch/backend cp /mnt/plfs/ckpt /tmp/ckpt
+    ldplfs --mount /mnt/plfs:/scratch/backend md5sum /mnt/plfs/ckpt
+
+Mounts may also come from ``LDPLFS_MOUNTS``/``LDPLFS_PLFSRC``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import config, interposed
+
+from .cat import cat
+from .cmp import cmp
+from .cp import cp
+from .dd import dd
+from .grep import grep
+from .headtail import head, tail
+from .ls import ls
+from .md5sum import md5sum
+from .wc import wc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ldplfs",
+        description="Run bundled UNIX tools with LDPLFS interposition active.",
+    )
+    parser.add_argument(
+        "--mount",
+        action="append",
+        default=[],
+        metavar="MOUNT:BACKEND",
+        help="add a PLFS mount (repeatable); falls back to LDPLFS_MOUNTS",
+    )
+    sub = parser.add_subparsers(dest="tool", required=True)
+
+    p = sub.add_parser("cat", help="concatenate files to stdout")
+    p.add_argument("paths", nargs="+")
+
+    p = sub.add_parser("cp", help="copy a file")
+    p.add_argument("src")
+    p.add_argument("dst")
+
+    p = sub.add_parser("grep", help="search files for a pattern")
+    p.add_argument("pattern")
+    p.add_argument("paths", nargs="+")
+    p.add_argument("-c", "--count", action="store_true")
+
+    p = sub.add_parser("md5sum", help="print MD5 digests")
+    p.add_argument("paths", nargs="+")
+
+    p = sub.add_parser("ls", help="list a directory")
+    p.add_argument("path", nargs="?", default=".")
+    p.add_argument("-l", "--long", action="store_true")
+
+    p = sub.add_parser("wc", help="count lines, words and bytes")
+    p.add_argument("paths", nargs="+")
+
+    p = sub.add_parser("dd", help="block copy with seek/skip")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("--bs", type=int, default=512)
+    p.add_argument("--count", type=int, default=None)
+    p.add_argument("--skip", type=int, default=0)
+    p.add_argument("--seek", type=int, default=0)
+
+    p = sub.add_parser("head", help="first lines of a file")
+    p.add_argument("path")
+    p.add_argument("-n", "--lines", type=int, default=10)
+
+    p = sub.add_parser("tail", help="last lines of a file")
+    p.add_argument("path")
+    p.add_argument("-n", "--lines", type=int, default=10)
+
+    p = sub.add_parser("cmp", help="compare two files byte by byte")
+    p.add_argument("a")
+    p.add_argument("b")
+    return parser
+
+
+def _parse_mounts(args) -> list[tuple[str, str]]:
+    mounts: list[tuple[str, str]] = []
+    for item in args.mount:
+        if ":" not in item:
+            raise SystemExit(f"--mount {item!r} is not MOUNT:BACKEND")
+        mount_point, backend = item.split(":", 1)
+        mounts.append((mount_point, backend))
+    if not mounts:
+        mounts = config.discover_mounts()
+    if not mounts:
+        raise SystemExit(
+            "no mounts configured: pass --mount or set "
+            f"{config.ENV_MOUNTS}/{config.ENV_PLFSRC}"
+        )
+    return mounts
+
+
+def run_tool(args, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if args.tool == "cat":
+        cat(args.paths, out=sys.stdout.buffer if out is sys.stdout else out)
+    elif args.tool == "cp":
+        cp(args.src, args.dst)
+    elif args.tool == "grep":
+        hits = grep(args.pattern, args.paths)
+        if args.count:
+            print(len(hits), file=out if out is not sys.stdout.buffer else sys.stdout)
+        else:
+            for path, lineno, line in hits:
+                print(f"{path}:{lineno}:{line}", file=out)
+        return 0 if hits else 1
+    elif args.tool == "md5sum":
+        for digest, path in md5sum(args.paths):
+            print(f"{digest}  {path}", file=out)
+    elif args.tool == "ls":
+        result = ls(args.path, long_format=args.long)
+        for item in result:
+            print(item.format_long() if args.long else item, file=out)
+    elif args.tool == "wc":
+        for path in args.paths:
+            res = wc(path)
+            print(f"{res.lines:>8} {res.words:>8} {res.bytes:>8} {path}", file=out)
+    elif args.tool == "dd":
+        result = dd(
+            args.src, args.dst, bs=args.bs, count=args.count,
+            skip=args.skip, seek=args.seek,
+        )
+        print(result, file=out)
+    elif args.tool == "head":
+        for line in head(args.path, args.lines):
+            print(line, file=out)
+    elif args.tool == "tail":
+        for line in tail(args.path, args.lines):
+            print(line, file=out)
+    elif args.tool == "cmp":
+        result = cmp(args.a, args.b)
+        if not result.equal:
+            print(
+                f"{args.a} {args.b} differ: byte {result.first_difference}",
+                file=out,
+            )
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    mounts = _parse_mounts(args)
+    with interposed(mounts):
+        return run_tool(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

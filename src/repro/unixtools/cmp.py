@@ -1,0 +1,37 @@
+"""``cmp`` — byte-wise file comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BLOCK = 128 * 1024
+
+
+@dataclass(frozen=True)
+class CmpResult:
+    equal: bool
+    #: 0-based byte offset of the first difference (or where one file
+    #: ended), None when identical
+    first_difference: int | None
+
+    def __bool__(self) -> bool:
+        return self.equal
+
+
+def cmp(path_a: str, path_b: str) -> CmpResult:
+    """Compare two files; block-buffered like the real tool."""
+    offset = 0
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        while True:
+            block_a = fa.read(BLOCK)
+            block_b = fb.read(BLOCK)
+            if block_a == block_b:
+                if not block_a:
+                    return CmpResult(True, None)
+                offset += len(block_a)
+                continue
+            limit = min(len(block_a), len(block_b))
+            for i in range(limit):
+                if block_a[i] != block_b[i]:
+                    return CmpResult(False, offset + i)
+            return CmpResult(False, offset + limit)

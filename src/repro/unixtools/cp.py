@@ -1,0 +1,27 @@
+"""``cp`` — copy a file, POSIX-call for POSIX-call like the real tool."""
+
+from __future__ import annotations
+
+import os
+
+#: coreutils-style copy buffer.
+BLOCK_SIZE = 128 * 1024
+
+
+def cp(src: str, dst: str, *, block_size: int = BLOCK_SIZE) -> int:
+    """Copy *src* to *dst*; returns bytes copied.
+
+    If *dst* is an existing directory the file is copied into it under its
+    base name, as with the command-line tool.
+    """
+    if os.path.isdir(dst):
+        dst = os.path.join(dst, os.path.basename(src))
+    with open(src, "rb") as fsrc, open(dst, "wb") as fdst:
+        copied = 0
+        while True:
+            block = fsrc.read(block_size)
+            if not block:
+                break
+            fdst.write(block)
+            copied += len(block)
+    return copied

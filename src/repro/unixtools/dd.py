@@ -1,0 +1,68 @@
+"""``dd`` — block-oriented copy with seek/skip, the lseek workout."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DdResult:
+    full_blocks: int
+    partial_blocks: int
+    bytes_copied: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.full_blocks}+{1 if self.partial_blocks else 0} records, "
+            f"{self.bytes_copied} bytes copied"
+        )
+
+
+def dd(
+    src: str,
+    dst: str,
+    *,
+    bs: int = 512,
+    count: int | None = None,
+    skip: int = 0,
+    seek: int = 0,
+    conv_notrunc: bool = False,
+) -> DdResult:
+    """Copy *count* blocks of *bs* bytes from *src* to *dst*.
+
+    ``skip`` input blocks are skipped (lseek on the input), the output is
+    positioned ``seek`` blocks in (lseek on the output), and without
+    ``conv_notrunc`` the destination is truncated first — the exact POSIX
+    call pattern of the real tool, which makes this a thorough exercise
+    of the shim's cursor emulation.
+    """
+    if bs <= 0:
+        raise ValueError("bs must be positive")
+    in_fd = os.open(src, os.O_RDONLY)
+    try:
+        out_flags = os.O_WRONLY | os.O_CREAT
+        if not conv_notrunc and seek == 0:
+            out_flags |= os.O_TRUNC
+        out_fd = os.open(dst, out_flags)
+        try:
+            if skip:
+                os.lseek(in_fd, skip * bs, os.SEEK_SET)
+            if seek:
+                os.lseek(out_fd, seek * bs, os.SEEK_SET)
+            full = partial = copied = 0
+            while count is None or full + partial < count:
+                block = os.read(in_fd, bs)
+                if not block:
+                    break
+                os.write(out_fd, block)
+                copied += len(block)
+                if len(block) == bs:
+                    full += 1
+                else:
+                    partial += 1
+            return DdResult(full, partial, copied)
+        finally:
+            os.close(out_fd)
+    finally:
+        os.close(in_fd)

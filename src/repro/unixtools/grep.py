@@ -1,0 +1,42 @@
+"""``grep`` — search files for a pattern, line by line."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+
+def grep(
+    pattern: str | re.Pattern,
+    paths: Iterable[str],
+    *,
+    fixed_string: bool = False,
+    invert: bool = False,
+) -> list[tuple[str, int, str]]:
+    """Return (path, line_number, line) for every matching line.
+
+    Files are read in binary and decoded permissively, mirroring GNU grep's
+    tolerance of arbitrary bytes.  Line iteration goes through the standard
+    buffered reader, i.e. through interposed ``read`` calls.
+    """
+    if fixed_string:
+        regex = re.compile(re.escape(pattern))
+    elif isinstance(pattern, str):
+        regex = re.compile(pattern)
+    else:
+        regex = pattern
+
+    matches: list[tuple[str, int, str]] = []
+    for path in paths:
+        with open(path, "rb") as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.decode("utf-8", errors="replace").rstrip("\n")
+                hit = regex.search(line) is not None
+                if hit != invert:
+                    matches.append((path, lineno, line))
+    return matches
+
+
+def grep_count(pattern: str, paths: Iterable[str], **kwargs) -> int:
+    """``grep -c`` across all *paths*."""
+    return len(grep(pattern, paths, **kwargs))

@@ -1,0 +1,46 @@
+"""``head`` and ``tail`` — line-oriented file slicing.
+
+``tail`` uses the real tool's strategy: seek to the end, scan backwards
+in blocks until enough newlines are found — exercising SEEK_END and
+pread on the interposed descriptor.
+"""
+
+from __future__ import annotations
+
+import os
+
+BLOCK = 8192
+
+
+def head(path: str, lines: int = 10) -> list[str]:
+    """First *lines* lines (without trailing newlines)."""
+    out: list[str] = []
+    with open(path, "rb") as fh:
+        for raw in fh:
+            out.append(raw.decode("utf-8", errors="replace").rstrip("\n"))
+            if len(out) >= lines:
+                break
+    return out
+
+
+def tail(path: str, lines: int = 10) -> list[str]:
+    """Last *lines* lines, by scanning backwards from EOF."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        size = os.lseek(fd, 0, os.SEEK_END)
+        if size == 0:
+            return []
+        newlines = 0
+        pos = size
+        chunks: list[bytes] = []
+        while pos > 0 and newlines <= lines:
+            take = min(BLOCK, pos)
+            pos -= take
+            chunk = os.pread(fd, take, pos)
+            chunks.append(chunk)
+            newlines += chunk.count(b"\n")
+        data = b"".join(reversed(chunks))
+        text_lines = data.decode("utf-8", errors="replace").splitlines()
+        return text_lines[-lines:]
+    finally:
+        os.close(fd)

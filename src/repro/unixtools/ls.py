@@ -1,0 +1,40 @@
+"""``ls`` — list a directory with optional long format."""
+
+from __future__ import annotations
+
+import os
+import stat as stat_module
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LsEntry:
+    name: str
+    size: int
+    mode: int
+    is_dir: bool
+
+    def format_long(self) -> str:
+        kind = "d" if self.is_dir else "-"
+        perms = stat_module.filemode(self.mode)[1:]
+        return f"{kind}{perms} {self.size:>12} {self.name}"
+
+
+def ls(path: str = ".", *, long_format: bool = False) -> list[LsEntry] | list[str]:
+    """List *path*.  Plain mode returns names; long mode stats each entry
+    (so PLFS containers report their *logical* size under the shim)."""
+    names = sorted(os.listdir(path))
+    if not long_format:
+        return names
+    entries: list[LsEntry] = []
+    for name in names:
+        st = os.stat(os.path.join(path, name))
+        entries.append(
+            LsEntry(
+                name=name,
+                size=st.st_size,
+                mode=st.st_mode,
+                is_dir=stat_module.S_ISDIR(st.st_mode),
+            )
+        )
+    return entries

@@ -1,0 +1,25 @@
+"""``md5sum`` — hex digests of files."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+BLOCK_SIZE = 128 * 1024
+
+
+def md5sum(paths: Iterable[str] | str) -> list[tuple[str, str]]:
+    """Return (hex_digest, path) pairs in md5sum's output order."""
+    if isinstance(paths, str):
+        paths = [paths]
+    out: list[tuple[str, str]] = []
+    for path in paths:
+        digest = hashlib.md5()
+        with open(path, "rb") as fh:
+            while True:
+                block = fh.read(BLOCK_SIZE)
+                if not block:
+                    break
+                digest.update(block)
+        out.append((digest.hexdigest(), path))
+    return out

@@ -1,0 +1,35 @@
+"""``wc`` — count lines, words and bytes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BLOCK_SIZE = 128 * 1024
+
+
+@dataclass(frozen=True)
+class WcResult:
+    lines: int
+    words: int
+    bytes: int
+
+
+def wc(path: str) -> WcResult:
+    """Count lines/words/bytes of one file, streaming in blocks."""
+    lines = words = nbytes = 0
+    in_word = False
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(BLOCK_SIZE)
+            if not block:
+                break
+            nbytes += len(block)
+            lines += block.count(b"\n")
+            for byte in block:
+                is_space = byte in (0x20, 0x09, 0x0A, 0x0B, 0x0C, 0x0D)
+                if in_word and is_space:
+                    in_word = False
+                elif not in_word and not is_space:
+                    words += 1
+                    in_word = True
+    return WcResult(lines, words, nbytes)

@@ -1,0 +1,26 @@
+"""``repro.workloads`` — the paper's benchmark applications as workload
+generators for the simulated platform.
+
+- :func:`run_mpiio_test` — LANL MPI-IO Test (Fig. 3)
+- :func:`run_bt` — NAS BT class C/D I/O (Fig. 4)
+- :func:`run_flashio` — FLASH-IO weak-scaled checkpoint (Fig. 5)
+"""
+
+from .base import RunResult, make_platform, validate_run
+from .bt import BT_CLASSES, BTClass, bt_core_counts, run_bt
+from .flashio import FLASHIO_NODE_SWEEP, PER_PROC_BYTES, run_flashio
+from .mpiio_test import run_mpiio_test
+
+__all__ = [
+    "RunResult",
+    "make_platform",
+    "validate_run",
+    "run_mpiio_test",
+    "run_bt",
+    "bt_core_counts",
+    "BT_CLASSES",
+    "BTClass",
+    "run_flashio",
+    "FLASHIO_NODE_SWEEP",
+    "PER_PROC_BYTES",
+]

@@ -1,0 +1,64 @@
+"""Common scaffolding for the benchmark workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.platform import Platform
+from repro.mpiio.methods import AccessMethod
+from repro.sim.engine import Environment
+from repro.sim.stats import MB
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated benchmark run."""
+
+    machine: str
+    method: str
+    nodes: int
+    ppn: int
+    total_bytes: float
+    write_seconds: float = 0.0
+    read_seconds: float = 0.0
+    mds_ops: int = 0
+    mds_longest_queue: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def cores(self) -> int:
+        return self.nodes * self.ppn
+
+    @property
+    def write_bandwidth(self) -> float:
+        """MB/s, the unit of every figure in the paper."""
+        if self.write_seconds <= 0:
+            return 0.0
+        return self.total_bytes / MB / self.write_seconds
+
+    @property
+    def read_bandwidth(self) -> float:
+        if self.read_seconds <= 0:
+            return 0.0
+        return self.total_bytes / MB / self.read_seconds
+
+
+def make_platform(machine: MachineSpec) -> tuple[Environment, Platform]:
+    """Fresh simulation environment + platform for one run."""
+    env = Environment(strict=True)
+    return env, Platform(env, machine)
+
+
+def validate_run(machine: MachineSpec, method: AccessMethod, nodes: int, ppn: int) -> None:
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    if nodes > machine.nodes:
+        raise ValueError(
+            f"{machine.name} has {machine.nodes} nodes; asked for {nodes}"
+        )
+    if not 1 <= ppn <= machine.cores_per_node:
+        raise ValueError(
+            f"{machine.name} has {machine.cores_per_node} cores per node; "
+            f"asked for {ppn} processes per node"
+        )

@@ -1,0 +1,103 @@
+"""The NAS BT I/O workload (paper §IV, Fig. 4).
+
+The Block-Tridiagonal solver's I/O mode dumps the solution array every few
+timesteps: 20 collective write calls over the run, strong-scaled (the
+global problem — and therefore the total output — is fixed while the core
+count grows, so the per-process write size shrinks).  Class C writes
+6.4 GB total, class D 136 GB, as stated in the paper.
+
+BT requires a square number of processes; the paper's core counts
+(4, 16, 64, 256, 1024, 4096) are all squares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec
+from repro.mpiio.file import MPIIOSimFile
+from repro.mpiio.methods import AccessMethod
+from repro.mpiio.simmpi import Communicator
+from repro.sim.stats import GB
+
+from .base import RunResult, make_platform, validate_run
+
+
+@dataclass(frozen=True)
+class BTClass:
+    name: str
+    grid: tuple[int, int, int]
+    total_bytes: float
+    write_steps: int
+    min_cores: int
+    max_cores: int
+
+
+#: Problem classes as benchmarked in the paper (§IV).
+BT_CLASSES = {
+    "C": BTClass("C", (162, 162, 162), 6.4 * GB, 20, 4, 1024),
+    "D": BTClass("D", (408, 408, 408), 136.0 * GB, 20, 64, 4096),
+}
+
+
+def bt_core_counts(cls: str) -> list[int]:
+    """The square core counts the paper sweeps for a class."""
+    spec = BT_CLASSES[cls]
+    counts = []
+    n = int(math.isqrt(spec.min_cores))
+    while n * n <= spec.max_cores:
+        if n * n >= spec.min_cores:
+            counts.append(n * n)
+        n *= 2
+    return counts
+
+
+def run_bt(
+    machine: MachineSpec,
+    method: AccessMethod,
+    cores: int,
+    cls: str = "C",
+) -> RunResult:
+    """Simulate BT's I/O for one core count and problem class."""
+    spec = BT_CLASSES[cls]
+    if int(math.isqrt(cores)) ** 2 != cores:
+        raise ValueError(f"BT needs a square process count, got {cores}")
+    if not spec.min_cores <= cores <= spec.max_cores:
+        raise ValueError(
+            f"class {cls} scales from {spec.min_cores} to {spec.max_cores} cores"
+        )
+    # Fill nodes with the largest process count that divides the total (so
+    # every node is uniformly loaded, as mpirun block placement gives).
+    ppn = next(
+        p for p in range(min(machine.cores_per_node, cores), 0, -1) if cores % p == 0
+    )
+    nodes = cores // ppn
+    validate_run(machine, method, nodes, ppn)
+    per_rank_per_step = spec.total_bytes / spec.write_steps / cores
+
+    result = RunResult(
+        machine=machine.name,
+        method=method.name,
+        nodes=nodes,
+        ppn=ppn,
+        total_bytes=spec.total_bytes,
+        details={"class": cls, "cores": cores, "per_write": per_rank_per_step},
+    )
+
+    env, platform = make_platform(machine)
+    comm = Communicator(nodes, ppn)
+
+    def driver():
+        f = MPIIOSimFile(platform, method, comm, name=f"bt.{cls}.out")
+        t0 = env.now
+        yield from f.open_all()
+        for _ in range(spec.write_steps):
+            yield from f.write_at_all(per_rank_per_step)
+        yield from f.close_all()
+        result.write_seconds = env.now - t0
+
+    env.run(until=env.process(driver()))
+    result.mds_ops = platform.mds.ops_issued()
+    result.mds_longest_queue = platform.mds.longest_observed_queue
+    return result

@@ -1,0 +1,87 @@
+"""The FLASH-IO checkpoint workload (paper §IV, Fig. 5).
+
+FLASH-IO recreates the FLASH thermonuclear code's HDF5 checkpoint: weak
+scaled with a 24³ local block, each process writes ~205 MB per checkpoint.
+HDF5 datasets are written with *independent* I/O (the benchmark's default),
+so every rank issues its own writes — which is exactly why PLFS creates
+dropping files for every processor and floods the Lustre MDS at scale.
+
+The paper runs 1..256 nodes at 12 processes per node (12..3072 cores).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineSpec
+from repro.mpiio.file import MPIIOSimFile
+from repro.mpiio.methods import AccessMethod
+from repro.mpiio.simmpi import Communicator
+from repro.sim.stats import MB
+
+from .base import RunResult, make_platform, validate_run
+
+#: bytes per process per checkpoint (paper: "approximately 205 MB")
+PER_PROC_BYTES = 205 * MB
+#: FLASH writes one dataset per solution variable; the standard FLASH-IO
+#: configuration carries 24 unknowns, giving ~8.5 MB slabs per variable.
+NUM_VARIABLES = 24
+#: small per-file header/attribute writes performed by rank 0
+HEADER_WRITES = 8
+HEADER_BYTES = 64 * 1024
+
+
+def run_flashio(
+    machine: MachineSpec,
+    method: AccessMethod,
+    nodes: int,
+    ppn: int = 12,
+) -> RunResult:
+    """Simulate one FLASH-IO checkpoint."""
+    validate_run(machine, method, nodes, ppn)
+    env, platform = make_platform(machine)
+    comm = Communicator(nodes, ppn)
+    per_var = PER_PROC_BYTES / NUM_VARIABLES
+    total = PER_PROC_BYTES * comm.size
+
+    result = RunResult(
+        machine=machine.name,
+        method=method.name,
+        nodes=nodes,
+        ppn=ppn,
+        total_bytes=total,
+        details={"per_var": per_var, "variables": NUM_VARIABLES},
+    )
+
+    def rank_writes(f: MPIIOSimFile, rank):
+        # Dataset layout: variable v occupies a contiguous region of the
+        # checkpoint; rank r's slab sits at r * per_var within it.  The
+        # resulting shared-file offsets are strided, as HDF5 hyperslab
+        # writes produce.
+        for v in range(NUM_VARIABLES):
+            dataset_base = v * per_var * comm.size
+            offset = dataset_base + rank.rank * per_var
+            yield from f.write_independent(rank, offset, per_var)
+
+    def driver():
+        f = MPIIOSimFile(platform, method, comm, name="flash.chk")
+        t0 = env.now
+        yield from f.open_all()
+        # Rank 0 writes the HDF5 header/attributes first.
+        rank0 = comm.ranks[0]
+        for _ in range(HEADER_WRITES):
+            yield from f.write_independent(rank0, 0, HEADER_BYTES)
+        # All ranks write their variable slabs concurrently.
+        procs = [
+            env.process(rank_writes(f, rank)) for rank in comm.ranks
+        ]
+        yield env.all_of(procs)
+        yield from f.close_all()
+        result.write_seconds = env.now - t0
+
+    env.run(until=env.process(driver()))
+    result.mds_ops = platform.mds.ops_issued()
+    result.mds_longest_queue = platform.mds.longest_observed_queue
+    return result
+
+
+#: the node counts of the paper's Fig. 5 sweep
+FLASHIO_NODE_SWEEP = [1, 2, 4, 8, 16, 32, 64, 128, 256]

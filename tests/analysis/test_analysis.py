@@ -1,0 +1,122 @@
+"""Tests for result containers, rendering and shape checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Panel,
+    Series,
+    check_collapse,
+    check_monotone_rise,
+    check_peak_location,
+    check_ratio_at,
+    render_ascii_chart,
+    render_panel,
+    render_table,
+    summarise,
+)
+
+
+@pytest.fixture
+def panel():
+    p = Panel(title="Fig X", xlabel="nodes", ylabel="MB/s")
+    for x, mpiio, plfs in [(1, 50, 60), (4, 100, 180), (16, 110, 240), (64, 110, 60)]:
+        p.add("MPI-IO", x, mpiio)
+        p.add("LDPLFS", x, plfs)
+    return p
+
+
+class TestSeriesAndPanel:
+    def test_series_points(self):
+        s = Series("a")
+        s.add(1, 10)
+        s.add(2, 30)
+        assert s.xs() == [1, 2]
+        assert s.ys() == [10, 30]
+        assert s.at(2) == 30
+        assert s.peak == (2, 30)
+        with pytest.raises(KeyError):
+            s.at(99)
+
+    def test_panel_xs_union(self, panel):
+        panel.add("extra", 128, 5)
+        assert panel.xs() == [1, 4, 16, 64, 128]
+
+    def test_ratio(self, panel):
+        assert panel.ratio("LDPLFS", "MPI-IO", 16) == pytest.approx(240 / 110)
+
+    def test_series_for_creates(self):
+        p = Panel("t", "x", "y")
+        s = p.series_for("new")
+        assert p.series_for("new") is s
+
+
+class TestRendering:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_panel_contains_all_values(self, panel):
+        out = render_panel(panel)
+        assert "Fig X" in out
+        assert "240.0" in out
+        assert "nodes" in out
+
+    def test_render_panel_missing_points_dash(self, panel):
+        panel.add("partial", 1, 42)
+        out = render_panel(panel)
+        assert "-" in out
+
+    def test_render_ascii_chart(self, panel):
+        out = render_ascii_chart(panel)
+        assert "nodes = 64" in out
+        assert "|" in out
+
+    def test_render_ascii_chart_empty(self):
+        out = render_ascii_chart(Panel("E", "x", "y"))
+        assert "no data" in out
+
+
+class TestShapeChecks:
+    def test_ratio_check(self, panel):
+        c = check_ratio_at(
+            panel, "LDPLFS", "MPI-IO", 16, at_least=2.0, claim="PLFS ~2x"
+        )
+        assert c.holds
+        c = check_ratio_at(
+            panel, "LDPLFS", "MPI-IO", 64, at_least=1.0, claim="PLFS wins at 64"
+        )
+        assert not c.holds
+
+    def test_peak_location(self, panel):
+        c = check_peak_location(
+            panel, "LDPLFS", between=(4, 32), claim="peaks mid-scale"
+        )
+        assert c.holds
+
+    def test_collapse(self, panel):
+        c = check_collapse(
+            panel, "LDPLFS", from_peak_factor=3.0, claim="collapses at scale"
+        )
+        assert c.holds
+        c2 = check_collapse(
+            panel, "MPI-IO", from_peak_factor=3.0, claim="mpiio collapses"
+        )
+        assert not c2.holds
+
+    def test_monotone_rise(self, panel):
+        assert check_monotone_rise(panel, "LDPLFS", through=16, claim="rises").holds
+        assert not check_monotone_rise(panel, "LDPLFS", through=64, claim="x").holds
+
+    def test_summarise(self, panel):
+        checks = [
+            check_peak_location(panel, "LDPLFS", between=(4, 32), claim="a"),
+            check_collapse(panel, "MPI-IO", from_peak_factor=3.0, claim="b"),
+        ]
+        out = summarise(checks)
+        assert "1/2 shape checks hold" in out
+        assert "[PASS]" in out and "[MISS]" in out

@@ -1,0 +1,58 @@
+"""Tests for panel export (CSV / JSON round-trip)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import (
+    Panel,
+    panel_from_dict,
+    panel_from_json,
+    panel_to_csv,
+    panel_to_dict,
+    panel_to_json,
+)
+
+
+@pytest.fixture
+def panel():
+    p = Panel(title="Fig", xlabel="nodes", ylabel="MB/s")
+    p.add("MPI-IO", 1, 50.0)
+    p.add("MPI-IO", 4, 100.0)
+    p.add("LDPLFS", 1, 60.0)
+    p.add("LDPLFS", 4, 180.0)
+    p.add("partial", 4, 42.0)
+    return p
+
+
+class TestCsv:
+    def test_header_and_rows(self, panel):
+        rows = list(csv.reader(io.StringIO(panel_to_csv(panel))))
+        assert rows[0] == ["nodes", "MPI-IO", "LDPLFS", "partial"]
+        assert rows[1] == ["1", "50.0", "60.0", ""]
+        assert rows[2] == ["4", "100.0", "180.0", "42.0"]
+
+    def test_empty_panel(self):
+        out = panel_to_csv(Panel("t", "x", "y"))
+        assert out.strip() == "x"
+
+
+class TestJsonRoundTrip:
+    def test_dict_shape(self, panel):
+        d = panel_to_dict(panel)
+        assert d["title"] == "Fig"
+        assert d["series"]["LDPLFS"]["y"] == [60.0, 180.0]
+
+    def test_round_trip(self, panel):
+        restored = panel_from_json(panel_to_json(panel))
+        assert restored.title == panel.title
+        assert restored.xs() == panel.xs()
+        for label in panel.series:
+            assert restored.series[label].points == panel.series[label].points
+
+    def test_from_dict(self, panel):
+        restored = panel_from_dict(panel_to_dict(panel))
+        assert restored.ratio("LDPLFS", "MPI-IO", 4) == pytest.approx(1.8)

@@ -1,0 +1,71 @@
+"""Tests for machine specs (Table I data) and parameter overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MACHINES, MINERVA, SIERRA, table1_rows
+
+
+class TestTableOneFacts:
+    """The inventory must match Table I of the paper verbatim."""
+
+    def test_minerva_facts(self):
+        assert MINERVA.processor == "Intel Xeon 5650"
+        assert MINERVA.cpu_ghz == 2.66
+        assert MINERVA.cores_per_node == 12
+        assert MINERVA.nodes == 258
+        assert MINERVA.filesystem == "GPFS"
+        assert MINERVA.io_servers == 2
+        assert MINERVA.storage.count == 96
+        assert MINERVA.storage.rpm == 7200
+        assert MINERVA.metadata.count == 24
+        assert MINERVA.metadata.rpm == 15000
+
+    def test_sierra_facts(self):
+        assert SIERRA.processor == "Intel Xeon 5660"
+        assert SIERRA.cpu_ghz == 2.8
+        assert SIERRA.nodes == 1849
+        assert SIERRA.filesystem == "Lustre"
+        assert SIERRA.io_servers == 24
+        assert SIERRA.storage.count == 3600
+        assert SIERRA.storage.rpm == 10000
+        assert SIERRA.metadata.count == 30
+
+    def test_total_cores(self):
+        assert MINERVA.total_cores == 258 * 12
+        assert SIERRA.total_cores == 1849 * 12
+
+    def test_machines_registry(self):
+        assert MACHINES["minerva"] is MINERVA
+        assert MACHINES["sierra"] is SIERRA
+
+    def test_table1_rows_cover_both_machines(self):
+        rows = table1_rows()
+        fields = [f for f, _, _ in rows]
+        assert "Processor" in fields
+        assert "File System" in fields
+        assert any(f.startswith("Storage:") for f in fields)
+        assert any(f.startswith("Metadata:") for f in fields)
+        by_field = {f: (m, s) for f, m, s in rows}
+        assert by_field["File System"] == ("GPFS", "Lustre")
+        assert by_field["Nodes"] == ("258", "1,849")
+
+
+class TestPerfOverrides:
+    def test_with_perf_creates_modified_copy(self):
+        faster = SIERRA.with_perf(server_bandwidth=1e9)
+        assert faster.perf.server_bandwidth == 1e9
+        assert SIERRA.perf.server_bandwidth != 1e9
+        assert faster.nodes == SIERRA.nodes
+
+    def test_with_perf_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            SIERRA.with_perf(not_a_field=1)
+
+    def test_metadata_model_differs(self):
+        # The architectural difference the paper leans on: Lustre has one
+        # dedicated MDS, GPFS distributes metadata.
+        assert SIERRA.perf.mds_count == 1
+        assert MINERVA.perf.mds_count > 1
+        assert SIERRA.perf.mds_contention_exp > 1

@@ -1,0 +1,214 @@
+"""Tests for the platform runtime: servers, MDS, caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MINERVA, SIERRA, Platform
+from repro.cluster.platform import MetadataService, Server, WriteBackCache
+from repro.sim import Environment
+from repro.sim.stats import MB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def platform(env):
+    return Platform(env, SIERRA)
+
+
+class TestServer:
+    def test_sequential_cheaper_than_seek(self, env):
+        s = Server(env, SIERRA.perf, 0)
+        seq = s.service_time(8 * MB, sequential=True)
+        rand = s.service_time(8 * MB, sequential=False)
+        assert rand == pytest.approx(seq + SIERRA.perf.seek_time)
+
+    def test_interleaving_degrades_bandwidth(self, env):
+        s = Server(env, SIERRA.perf, 0)
+        bw0 = s.effective_bandwidth()
+        for _ in range(100):
+            s.stream_opened()
+        assert s.effective_bandwidth() < bw0
+        for _ in range(100):
+            s.stream_closed()
+        assert s.effective_bandwidth() == pytest.approx(bw0)
+
+    def test_stream_close_never_negative(self, env):
+        s = Server(env, SIERRA.perf, 0)
+        s.stream_closed()
+        assert s.open_streams == 0
+
+    def test_io_accounting(self, env):
+        s = Server(env, SIERRA.perf, 0)
+
+        def proc():
+            yield from s.io(1 * MB, sequential=True)
+
+        env.run(until=env.process(proc()))
+        assert s.bytes_serviced == 1 * MB
+        assert s.ops_serviced == 1
+        assert env.now == pytest.approx(s.service_time(1 * MB, sequential=True))
+
+    def test_channel_serialises(self, env):
+        s = Server(env, SIERRA.perf, 0)  # concurrency 1
+        done = []
+
+        def proc(tag):
+            yield from s.io(1 * MB, sequential=True)
+            done.append((tag, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert done[1][1] == pytest.approx(2 * done[0][1])
+
+
+class TestMetadataService:
+    def test_light_ops_cost_base(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+
+        def proc():
+            yield from mds.op("stat")
+
+        env.run(until=env.process(proc()))
+        assert env.now == pytest.approx(SIERRA.perf.mds_base_service)
+
+    def test_heavy_create_costs_weight(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+
+        def proc():
+            yield from mds.op("dropping_create", heavy=True)
+
+        env.run(until=env.process(proc()))
+        expected = SIERRA.perf.mds_base_service * SIERRA.perf.mds_create_weight
+        assert env.now == pytest.approx(expected, rel=1e-6)
+
+    def test_create_storm_thrash_is_superlinear(self):
+        def storm_time(n):
+            env = Environment()
+            mds = MetadataService(env, SIERRA.perf)
+            for _ in range(n):
+                env.process(mds.op("dropping_create", heavy=True))
+            env.run()
+            return env.now
+
+        small, large = storm_time(200), storm_time(4000)
+        # 20x the creates must cost far more than 20x the time.
+        assert large > 20 * small * 3
+
+    def test_marker_storm_stays_linearish(self):
+        def storm_time(n):
+            env = Environment()
+            mds = MetadataService(env, SIERRA.perf)
+            for _ in range(n):
+                env.process(mds.op("openhost_mark"))
+            env.run()
+            return env.now
+
+        small, large = storm_time(200), storm_time(4000)
+        # Queue-linear only: 20x ops cost well under 100x.
+        assert large < 80 * small
+
+    def test_distributed_mds_scales(self):
+        def storm_time(spec, n=2000):
+            env = Environment()
+            mds = MetadataService(env, spec.perf)
+            for i in range(n):
+                env.process(mds.op("dropping_create", key=i, heavy=True))
+            env.run()
+            return env.now
+
+        assert storm_time(MINERVA) < storm_time(SIERRA) / 4
+
+    def test_op_counters(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+
+        def proc():
+            yield from mds.op("stat")
+            yield from mds.op("stat")
+            yield from mds.op("unlink")
+
+        env.run(until=env.process(proc()))
+        assert mds.ops.get("stat") == 2
+        assert mds.ops_issued() == 3
+
+
+class TestWriteBackCache:
+    def make(self, env, perf=SIERRA.perf):
+        return WriteBackCache(env, perf)
+
+    def test_small_write_absorbs_at_memcpy_speed(self, env):
+        cache = self.make(env)
+        drained = []
+
+        def slow_drain(n):
+            yield env.timeout(10.0)
+            drained.append(n)
+
+        def proc():
+            yield from cache.write(1 * MB, slow_drain)
+            return env.now
+
+        absorb_time = env.run(until=env.process(proc()))
+        assert absorb_time == pytest.approx(1 * MB / SIERRA.perf.memcpy_bandwidth)
+        env.run()
+        assert drained == [1 * MB]
+        assert cache.dirty == 0
+
+    def test_budget_exhaustion_blocks_at_drain_rate(self, env):
+        cache = self.make(env)
+        budget = SIERRA.perf.cache_dirty_per_proc
+
+        def drain(n):
+            yield env.timeout(1.0)
+
+        def producer():
+            for _ in range(8):
+                yield from cache.write(budget / 2, drain)
+            return env.now
+
+        total = env.run(until=env.process(producer()))
+        # First two absorb instantly; the rest wait ~1s each for drains.
+        assert total >= 5.9
+
+    def test_absorbed_accounting(self, env):
+        cache = self.make(env)
+
+        def drain(n):
+            yield env.timeout(0)
+
+        def proc():
+            yield from cache.write(3 * MB, drain)
+
+        env.run(until=env.process(proc()))
+        assert cache.absorbed_bytes == 3 * MB
+
+
+class TestPlatform:
+    def test_lazy_nics_and_caches(self, platform):
+        assert platform.nic(3) is platform.nic(3)
+        assert platform.nic(3) is not platform.nic(4)
+        assert platform.cache(0, 1) is platform.cache(0, 1)
+        assert platform.cache(0, 1) is not platform.cache(0, 2)
+
+    def test_server_count_matches_spec(self, platform):
+        assert len(platform.servers) == SIERRA.io_servers
+
+    def test_round_robin_assignment(self, platform):
+        first = [platform.assign_server() for _ in range(SIERRA.io_servers)]
+        assert len({s.sid for s in first}) == SIERRA.io_servers
+        again = platform.assign_server()
+        assert again is first[0]
+
+    def test_total_bytes_serviced(self, env, platform):
+        server = platform.servers[0]
+
+        def proc():
+            yield from server.io(2 * MB, sequential=True)
+
+        env.run(until=env.process(proc()))
+        assert platform.total_bytes_serviced() == 2 * MB

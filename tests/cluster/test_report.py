@@ -1,0 +1,57 @@
+"""Tests for platform utilisation reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SIERRA, Platform
+from repro.sim import Environment
+from repro.sim.stats import MB
+
+
+@pytest.fixture
+def busy_platform():
+    env = Environment()
+    platform = Platform(env, SIERRA)
+
+    def work():
+        yield from platform.nic(0).transfer(8 * MB)
+        yield from platform.servers[0].io(8 * MB, sequential=True)
+        yield from platform.mds.op("dropping_create", heavy=True)
+
+    env.run(until=env.process(work()))
+    return env, platform
+
+
+class TestReport:
+    def test_report_fields(self, busy_platform):
+        env, platform = busy_platform
+        data = platform.report()
+        assert data["horizon"] == env.now
+        assert data["bytes_serviced"] == 8 * MB
+        assert data["mds_ops"] == 1
+        assert data["mds_peak_create_depth"] == 1
+        assert len(data["server_utilisation"]) == SIERRA.io_servers
+        assert 0 < data["server_utilisation"][0] <= 1
+        assert data["server_utilisation"][1] == 0
+        assert data["nic_utilisation_mean"] > 0
+
+    def test_custom_horizon_scales_utilisation(self, busy_platform):
+        env, platform = busy_platform
+        at_now = platform.report()["server_utilisation_mean"]
+        at_double = platform.report(horizon=env.now * 2)["server_utilisation_mean"]
+        assert at_double == pytest.approx(at_now / 2)
+
+    def test_render_mentions_key_numbers(self, busy_platform):
+        _, platform = busy_platform
+        text = platform.render_report()
+        assert "metadata ops" in text
+        assert "GB serviced" in text
+
+    def test_empty_platform_report(self):
+        env = Environment()
+        platform = Platform(env, SIERRA)
+        data = platform.report(horizon=1.0)
+        assert data["bytes_serviced"] == 0
+        assert data["nic_utilisation_mean"] == 0.0
+        assert data["server_utilisation_mean"] == 0.0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.interpose import Interposer
+
+
+@pytest.fixture
+def backend(tmp_path):
+    """A fresh PLFS backend directory."""
+    path = tmp_path / "backend"
+    path.mkdir()
+    return str(path)
+
+
+@pytest.fixture
+def mnt(tmp_path):
+    """A logical mount-point path (never created on the real FS)."""
+    return str(tmp_path / "mnt" / "plfs")
+
+
+@pytest.fixture
+def interposer(mnt, backend):
+    """An installed interposer with one mount; uninstalled afterwards."""
+    ip = Interposer([(mnt, backend)])
+    ip.install()
+    try:
+        yield ip
+    finally:
+        # Close anything a failing test leaked, then restore the originals.
+        ip.drain()
+        ip.uninstall()
+
+
+@pytest.fixture
+def container_path(backend):
+    """Backend path for one logical file (not created)."""
+    return os.path.join(backend, "file")

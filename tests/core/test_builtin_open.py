@@ -1,0 +1,128 @@
+"""Tests for the interposed ``builtins.open`` (buffered/text layers)."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+
+class TestBinary:
+    def test_write_read_roundtrip(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        with open(f"{mnt}/f.bin", "rb") as fh:
+            assert fh.read() == b"\x00\x01\x02"
+
+    def test_seek_tell(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb") as fh:
+            fh.write(b"0123456789")
+        with open(f"{mnt}/f.bin", "rb") as fh:
+            fh.seek(4)
+            assert fh.tell() == 4
+            assert fh.read(2) == b"45"
+            fh.seek(-2, os.SEEK_END)
+            assert fh.read() == b"89"
+
+    def test_rplus_update(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb") as fh:
+            fh.write(b"AAAAAA")
+        with open(f"{mnt}/f.bin", "r+b") as fh:
+            fh.seek(2)
+            fh.write(b"XX")
+        with open(f"{mnt}/f.bin", "rb") as fh:
+            assert fh.read() == b"AAXXAA"
+
+    def test_unbuffered_raw(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb", buffering=0) as fh:
+            assert fh.write(b"raw") == 3
+        with open(f"{mnt}/f.bin", "rb", buffering=0) as fh:
+            assert fh.read(3) == b"raw"
+
+    def test_unbuffered_text_rejected(self, interposer, mnt):
+        with pytest.raises(ValueError):
+            open(f"{mnt}/f.txt", "w", buffering=0)
+
+    def test_truncate_method(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb") as fh:
+            fh.write(b"0123456789")
+        with open(f"{mnt}/f.bin", "r+b") as fh:
+            fh.truncate(4)
+        assert os.stat(f"{mnt}/f.bin").st_size == 4
+
+    def test_fileno_is_tracked_fd(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "wb") as fh:
+            assert interposer.shim.table.lookup(fh.fileno()) is not None
+
+    def test_missing_file_raises(self, interposer, mnt):
+        with pytest.raises(FileNotFoundError):
+            open(f"{mnt}/missing", "rb")
+
+    def test_exclusive_mode(self, interposer, mnt):
+        with open(f"{mnt}/f.bin", "xb") as fh:
+            fh.write(b"x")
+        with pytest.raises(OSError):
+            open(f"{mnt}/f.bin", "xb")
+
+
+class TestText:
+    def test_text_roundtrip(self, interposer, mnt):
+        with open(f"{mnt}/f.txt", "w") as fh:
+            fh.write("héllo wörld\n")
+        with open(f"{mnt}/f.txt", encoding="utf-8") as fh:
+            assert fh.read() == "héllo wörld\n"
+
+    def test_readline_and_iteration(self, interposer, mnt):
+        with open(f"{mnt}/f.txt", "w") as fh:
+            fh.write("one\ntwo\nthree\n")
+        with open(f"{mnt}/f.txt") as fh:
+            assert fh.readline() == "one\n"
+            assert list(fh) == ["two\n", "three\n"]
+
+    def test_append_text(self, interposer, mnt):
+        with open(f"{mnt}/f.txt", "w") as fh:
+            fh.write("start\n")
+        with open(f"{mnt}/f.txt", "a") as fh:
+            fh.write("more\n")
+        with open(f"{mnt}/f.txt") as fh:
+            assert fh.read() == "start\nmore\n"
+
+    def test_encoding_respected(self, interposer, mnt):
+        with open(f"{mnt}/f.txt", "w", encoding="latin-1") as fh:
+            fh.write("café")
+        with open(f"{mnt}/f.txt", "rb") as fh:
+            assert fh.read() == "café".encode("latin-1")
+
+    def test_invalid_mode(self, interposer, mnt):
+        with pytest.raises(ValueError):
+            open(f"{mnt}/f.txt", "z")
+
+
+class TestPassthrough:
+    def test_outside_mount_untouched(self, interposer, tmp_path):
+        p = tmp_path / "plain.txt"
+        with open(p, "w") as fh:
+            fh.write("plain")
+        with open(p) as fh:
+            assert fh.read() == "plain"
+        # It really is a plain file, not a container.
+        assert p.is_file()
+
+    def test_open_by_fd_passthrough(self, interposer, tmp_path):
+        fd = os.open(str(tmp_path / "x"), os.O_CREAT | os.O_WRONLY)
+        with open(fd, "wb") as fh:
+            fh.write(b"via fd")
+        assert (tmp_path / "x").read_bytes() == b"via fd"
+
+    def test_open_plfs_fd_wraps(self, interposer, mnt):
+        fd = os.open(f"{mnt}/f", os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"hello")
+        os.lseek(fd, 0, os.SEEK_SET)
+        with open(fd, "rb") as fh:
+            assert fh.read() == b"hello"
+
+    def test_stringio_unaffected(self, interposer):
+        buf = io.StringIO()
+        buf.write("no files involved")
+        assert buf.getvalue() == "no files involved"

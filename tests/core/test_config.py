@@ -1,0 +1,100 @@
+"""Tests for environment / plfsrc configuration parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import config
+
+
+class TestPreloadFlag:
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "yes", "on"])
+    def test_truthy(self, value):
+        assert config.preload_requested({config.ENV_PRELOAD: value})
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "nope"])
+    def test_falsy(self, value):
+        assert not config.preload_requested({config.ENV_PRELOAD: value})
+
+    def test_unset(self):
+        assert not config.preload_requested({})
+
+
+class TestMountsEnv:
+    def test_single_pair(self):
+        env = {config.ENV_MOUNTS: "/mnt/plfs:/backend"}
+        assert config.mounts_from_environ(env) == [("/mnt/plfs", "/backend")]
+
+    def test_multiple_pairs(self):
+        env = {config.ENV_MOUNTS: "/a:/b, /c:/d"}
+        assert config.mounts_from_environ(env) == [("/a", "/b"), ("/c", "/d")]
+
+    def test_empty(self):
+        assert config.mounts_from_environ({}) == []
+        assert config.mounts_from_environ({config.ENV_MOUNTS: "  "}) == []
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            config.mounts_from_environ({config.ENV_MOUNTS: "nocolon"})
+
+
+class TestPlfsrc:
+    def test_basic(self):
+        text = """
+        # a comment
+        mount_point /mnt/plfs
+        backends /scratch/backend
+        """
+        assert config.parse_plfsrc(text) == [("/mnt/plfs", "/scratch/backend")]
+
+    def test_colon_style(self):
+        text = "mount_point: /mnt/plfs\nbackends: /scratch/backend\n"
+        assert config.parse_plfsrc(text) == [("/mnt/plfs", "/scratch/backend")]
+
+    def test_multiple_mounts(self):
+        text = (
+            "mount_point /a\nbackends /ba\n"
+            "mount_point /b\nbackends /bb\n"
+        )
+        assert config.parse_plfsrc(text) == [("/a", "/ba"), ("/b", "/bb")]
+
+    def test_multiple_backends_takes_first(self):
+        text = "mount_point /m\nbackends /b1,/b2\n"
+        assert config.parse_plfsrc(text) == [("/m", "/b1")]
+
+    def test_backends_without_mount_raises(self):
+        with pytest.raises(ValueError):
+            config.parse_plfsrc("backends /b\n")
+
+    def test_unknown_directives_ignored(self):
+        text = "threadpool_size 16\nmount_point /m\nbackends /b\n"
+        assert config.parse_plfsrc(text) == [("/m", "/b")]
+
+    def test_file_roundtrip(self, tmp_path):
+        rc = tmp_path / "plfsrc"
+        rc.write_text("mount_point /m\nbackends /b\n")
+        assert config.mounts_from_plfsrc(str(rc)) == [("/m", "/b")]
+
+
+class TestDiscover:
+    def test_env_takes_priority(self, tmp_path):
+        rc = tmp_path / "plfsrc"
+        rc.write_text("mount_point /rc\nbackends /rcb\n")
+        env = {
+            config.ENV_MOUNTS: "/env:/envb",
+            config.ENV_PLFSRC: str(rc),
+        }
+        assert config.discover_mounts(env) == [("/env", "/envb")]
+
+    def test_fallback_to_plfsrc(self, tmp_path):
+        rc = tmp_path / "plfsrc"
+        rc.write_text("mount_point /rc\nbackends /rcb\n")
+        env = {config.ENV_PLFSRC: str(rc)}
+        assert config.discover_mounts(env) == [("/rc", "/rcb")]
+
+    def test_missing_plfsrc_file(self):
+        env = {config.ENV_PLFSRC: "/nonexistent/plfsrc"}
+        assert config.discover_mounts(env) == []
+
+    def test_nothing_configured(self):
+        assert config.discover_mounts({}) == []

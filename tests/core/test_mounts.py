@@ -1,0 +1,96 @@
+"""Tests for the mount table (logical path → backend resolution)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.mounts import Mount, MountTable
+
+
+class TestMount:
+    def test_translate_file(self):
+        m = Mount("/mnt/plfs", "/backend")
+        assert m.translate("/mnt/plfs/a/b") == "/backend/a/b"
+
+    def test_translate_root(self):
+        m = Mount("/mnt/plfs", "/backend")
+        assert m.translate("/mnt/plfs") == "/backend"
+
+
+class TestMountTable:
+    def test_add_and_resolve(self, tmp_path):
+        t = MountTable()
+        t.add("/mnt/plfs", str(tmp_path / "be"))
+        resolved = t.resolve("/mnt/plfs/file")
+        assert resolved is not None
+        mount, backend = resolved
+        assert backend == str(tmp_path / "be" / "file")
+
+    def test_add_creates_backend_dir(self, tmp_path):
+        t = MountTable()
+        be = tmp_path / "newdir"
+        t.add("/mnt/plfs", str(be))
+        assert be.is_dir()
+
+    def test_resolve_outside_mount_is_none(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path))])
+        assert t.resolve("/etc/passwd") is None
+        assert t.resolve("/mnt/plfsother/file") is None  # no prefix confusion
+
+    def test_resolve_mount_point_itself(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path))])
+        mount, backend = t.resolve("/mnt/plfs")
+        assert backend == str(tmp_path)
+
+    def test_longest_prefix_wins(self, tmp_path):
+        be1, be2 = tmp_path / "b1", tmp_path / "b2"
+        t = MountTable([("/mnt", str(be1)), ("/mnt/inner", str(be2))])
+        _, backend = t.resolve("/mnt/inner/x")
+        assert backend == str(be2 / "x")
+        _, backend = t.resolve("/mnt/other/x")
+        assert backend == str(be1 / "other" / "x")
+
+    def test_relative_paths_resolved_against_cwd(self, tmp_path, monkeypatch):
+        t = MountTable([(str(tmp_path / "mnt"), str(tmp_path / "be"))])
+        monkeypatch.chdir(tmp_path)
+        resolved = t.resolve("mnt/file")
+        assert resolved is not None
+        assert resolved[1] == str(tmp_path / "be" / "file")
+
+    def test_dot_segments_normalised(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path))])
+        _, backend = t.resolve("/mnt/plfs/a/../b/./c")
+        assert backend == str(tmp_path / "b" / "c")
+
+    def test_duplicate_mount_raises(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path / "a"))])
+        with pytest.raises(ValueError):
+            t.add("/mnt/plfs", str(tmp_path / "b"))
+
+    def test_mount_over_root_refused(self, tmp_path):
+        with pytest.raises(ValueError):
+            MountTable([("/", str(tmp_path))])
+
+    def test_backend_under_mount_refused(self):
+        with pytest.raises(ValueError):
+            MountTable([("/mnt/plfs", "/mnt/plfs/backend")])
+
+    def test_remove(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path))])
+        t.remove("/mnt/plfs")
+        assert t.resolve("/mnt/plfs/x") is None
+        with pytest.raises(KeyError):
+            t.remove("/mnt/plfs")
+
+    def test_len_and_clear(self, tmp_path):
+        t = MountTable([("/mnt/a", str(tmp_path / "a")), ("/mnt/b", str(tmp_path / "b"))])
+        assert len(t) == 2
+        t.clear()
+        assert len(t) == 0
+
+    def test_bytes_path(self, tmp_path):
+        t = MountTable([("/mnt/plfs", str(tmp_path))])
+        mount = t.find(os.fsencode("/mnt/plfs/x"))
+        assert mount is None or mount.mount_point == "/mnt/plfs"

@@ -1,0 +1,155 @@
+"""Tests for the extended shim surface: statvfs, links, zero-copy guards,
+and the -wrap analogue for import-time bound functions."""
+
+from __future__ import annotations
+
+import errno
+import os
+import types
+
+import pytest
+
+
+def make_file(path: str, payload: bytes = b"data") -> None:
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY)
+    os.write(fd, payload)
+    os.close(fd)
+
+
+class TestStatvfs:
+    def test_statvfs_on_mount_path(self, interposer, mnt):
+        make_file(f"{mnt}/f")
+        vfs = os.statvfs(f"{mnt}/f")
+        assert vfs.f_bsize > 0
+        # Same file system as the backend (that's where droppings live).
+        backend_vfs = interposer.real.statvfs(interposer.mount_table.mounts()[0].backend)
+        assert vfs.f_blocks == backend_vfs.f_blocks
+
+    def test_statvfs_on_missing_logical_path(self, interposer, mnt):
+        # Walks up to the nearest existing backend ancestor.
+        vfs = os.statvfs(f"{mnt}/not/created/yet")
+        assert vfs.f_bsize > 0
+
+    def test_statvfs_passthrough(self, interposer, tmp_path):
+        assert os.statvfs(str(tmp_path)).f_bsize > 0
+
+    def test_fstatvfs_on_plfs_fd(self, interposer, mnt):
+        fd = os.open(f"{mnt}/f", os.O_CREAT | os.O_WRONLY)
+        vfs = os.fstatvfs(fd)
+        assert vfs.f_bsize > 0
+        os.close(fd)
+
+    def test_fstatvfs_passthrough(self, interposer, tmp_path):
+        fd = os.open(str(tmp_path / "x"), os.O_CREAT | os.O_WRONLY)
+        assert os.fstatvfs(fd).f_bsize > 0
+        os.close(fd)
+
+
+class TestLinks:
+    def test_hard_link_into_mount_refused(self, interposer, mnt, tmp_path):
+        make_file(f"{mnt}/f")
+        with pytest.raises(OSError) as exc:
+            os.link(f"{mnt}/f", f"{mnt}/g")
+        assert exc.value.errno == errno.EPERM
+
+    def test_symlink_into_mount_refused(self, interposer, mnt):
+        with pytest.raises(OSError) as exc:
+            os.symlink("/etc/passwd", f"{mnt}/sneaky")
+        assert exc.value.errno == errno.EPERM
+
+    def test_readlink_in_mount_einval(self, interposer, mnt):
+        make_file(f"{mnt}/f")
+        with pytest.raises(OSError) as exc:
+            os.readlink(f"{mnt}/f")
+        assert exc.value.errno == errno.EINVAL
+
+    def test_links_passthrough_outside(self, interposer, tmp_path):
+        target = tmp_path / "t"
+        target.write_text("x")
+        os.link(str(target), str(tmp_path / "hard"))
+        os.symlink(str(target), str(tmp_path / "soft"))
+        assert os.readlink(str(tmp_path / "soft")) == str(target)
+
+
+class TestZeroCopyGuards:
+    def test_copy_file_range_guarded(self, interposer, mnt, tmp_path):
+        if not hasattr(os, "copy_file_range"):
+            pytest.skip("no copy_file_range on this platform")
+        fd_in = os.open(f"{mnt}/src", os.O_CREAT | os.O_RDWR)
+        os.write(fd_in, b"payload")
+        fd_out = os.open(str(tmp_path / "dst"), os.O_CREAT | os.O_WRONLY)
+        with pytest.raises(OSError) as exc:
+            os.copy_file_range(fd_in, fd_out, 7)
+        assert exc.value.errno == errno.EXDEV
+        os.close(fd_in)
+        os.close(fd_out)
+
+    def test_copy_file_range_passthrough(self, interposer, tmp_path):
+        if not hasattr(os, "copy_file_range"):
+            pytest.skip("no copy_file_range on this platform")
+        src = tmp_path / "a"
+        src.write_bytes(b"12345")
+        fd_in = os.open(str(src), os.O_RDONLY)
+        fd_out = os.open(str(tmp_path / "b"), os.O_CREAT | os.O_WRONLY)
+        try:
+            copied = os.copy_file_range(fd_in, fd_out, 5)
+            assert copied == 5
+        except OSError:
+            pytest.skip("copy_file_range unsupported by this kernel/fs")
+        finally:
+            os.close(fd_in)
+            os.close(fd_out)
+
+
+class TestWrapModule:
+    def _app_module(self):
+        """An 'application' that bound POSIX functions at import time."""
+        app = types.ModuleType("app_with_from_imports")
+        app.open_ = os.open  # captured BEFORE interposition in real life;
+        app.write_ = os.write  # the fixture installs after module creation
+        app.close_ = os.close
+        app.bopen = open
+        return app
+
+    def test_unwrapped_module_misses_plfs(self, mnt, backend, tmp_path):
+        # Build the module BEFORE installing: it holds the originals.
+        from repro.core.interpose import Interposer
+
+        app = self._app_module()
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        try:
+            with pytest.raises(FileNotFoundError):
+                # The captured original os.open knows nothing of the mount.
+                app.open_(f"{mnt}/f", os.O_CREAT | os.O_WRONLY)
+        finally:
+            ip.uninstall()
+
+    def test_wrap_module_rebinds(self, mnt, backend):
+        from repro.core.interpose import Interposer
+        from repro.plfs import is_container
+
+        app = self._app_module()
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        try:
+            rebound = ip.wrap_module(app)
+            assert rebound == 4
+            fd = app.open_(f"{mnt}/wrapped", os.O_CREAT | os.O_WRONLY)
+            app.write_(fd, b"via wrapped symbols")
+            app.close_(fd)
+            with app.bopen(f"{mnt}/wrapped", "rb") as fh:
+                assert fh.read() == b"via wrapped symbols"
+        finally:
+            ip.uninstall()
+        assert is_container(os.path.join(backend, "wrapped"))
+        # Uninstall restored the module's original bindings.
+        assert app.open_ is os.open
+        assert app.bopen is open
+
+    def test_wrap_requires_install(self, mnt, backend):
+        from repro.core.interpose import Interposer
+
+        ip = Interposer([(mnt, backend)])
+        with pytest.raises(RuntimeError):
+            ip.wrap_module(types.ModuleType("m"))

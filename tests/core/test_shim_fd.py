@@ -1,0 +1,216 @@
+"""Descriptor-level shim tests: the paper's two book-keeping mechanisms.
+
+These exercise the fd lookup table (real shadow descriptors) and the
+lseek-emulated file pointer through the patched ``os`` functions.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+
+@pytest.fixture
+def f(mnt):
+    return f"{mnt}/file"
+
+
+class TestOpenClose:
+    def test_open_returns_real_fd(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        assert isinstance(fd, int) and fd >= 0
+        # A real kernel descriptor: fstat on the raw fd must succeed even
+        # via the original (unpatched) function.
+        interposer.real.fstat(fd)
+        os.close(fd)
+
+    def test_fd_table_tracks_entry(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        assert interposer.shim.table.lookup(fd) is not None
+        os.close(fd)
+        assert interposer.shim.table.lookup(fd) is None
+
+    def test_open_missing_raises_enoent(self, interposer, f):
+        with pytest.raises(FileNotFoundError):
+            os.open(f, os.O_RDONLY)
+
+    def test_open_passthrough_outside_mount(self, interposer, tmp_path):
+        out = str(tmp_path / "plain")
+        fd = os.open(out, os.O_CREAT | os.O_WRONLY)
+        assert interposer.shim.table.lookup(fd) is None
+        os.write(fd, b"plain")
+        os.close(fd)
+        assert open(out, "rb").read() == b"plain"
+
+    def test_close_passthrough(self, interposer, tmp_path):
+        fd = os.open(str(tmp_path / "x"), os.O_CREAT | os.O_WRONLY)
+        os.close(fd)
+        with pytest.raises(OSError):
+            interposer.real.fstat(fd)
+
+
+class TestCursorEmulation:
+    def test_sequential_reads_advance(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0123456789")
+        os.lseek(fd, 0, os.SEEK_SET)
+        assert os.read(fd, 4) == b"0123"
+        assert os.read(fd, 4) == b"4567"
+        assert os.read(fd, 4) == b"89"
+        assert os.read(fd, 4) == b""
+        os.close(fd)
+
+    def test_write_advances_cursor(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"abc")
+        os.write(fd, b"def")
+        os.lseek(fd, 0, os.SEEK_SET)
+        assert os.read(fd, 6) == b"abcdef"
+        os.close(fd)
+
+    def test_seek_set_cur_end(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0123456789")
+        assert os.lseek(fd, 2, os.SEEK_SET) == 2
+        assert os.lseek(fd, 3, os.SEEK_CUR) == 5
+        assert os.lseek(fd, -2, os.SEEK_END) == 8
+        assert os.read(fd, 10) == b"89"
+        os.close(fd)
+
+    def test_seek_past_eof_then_write_leaves_hole(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"A")
+        os.lseek(fd, 5, os.SEEK_SET)
+        os.write(fd, b"B")
+        os.lseek(fd, 0, os.SEEK_SET)
+        assert os.read(fd, 6) == b"A\x00\x00\x00\x00B"
+        os.close(fd)
+
+    def test_negative_seek_raises(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        with pytest.raises(OSError):
+            os.lseek(fd, -1, os.SEEK_SET)
+        with pytest.raises(OSError):
+            os.lseek(fd, -10, os.SEEK_END)
+        os.close(fd)
+
+    def test_append_mode(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        os.write(fd, b"base")
+        os.close(fd)
+        fd = os.open(f, os.O_WRONLY | os.O_APPEND)
+        os.write(fd, b"+one")
+        os.write(fd, b"+two")
+        os.close(fd)
+        fd = os.open(f, os.O_RDONLY)
+        assert os.read(fd, 100) == b"base+one+two"
+        os.close(fd)
+
+
+class TestPositionalIO:
+    def test_pread_does_not_move_cursor(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0123456789")
+        os.lseek(fd, 0, os.SEEK_SET)
+        assert os.pread(fd, 3, 5) == b"567"
+        assert os.read(fd, 3) == b"012"  # cursor untouched by pread
+        os.close(fd)
+
+    def test_pwrite_does_not_move_cursor(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0000000000")
+        os.lseek(fd, 2, os.SEEK_SET)
+        os.pwrite(fd, b"XY", 6)
+        assert os.lseek(fd, 0, os.SEEK_CUR) == 2
+        assert os.pread(fd, 10, 0) == b"000000XY00"
+        os.close(fd)
+
+    def test_pread_passthrough(self, interposer, tmp_path):
+        p = str(tmp_path / "plain")
+        with open(p, "wb") as fh:
+            fh.write(b"abcdef")
+        fd = os.open(p, os.O_RDONLY)
+        assert os.pread(fd, 2, 2) == b"cd"
+        os.close(fd)
+
+
+class TestDup:
+    def test_dup_shares_cursor(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0123456789")
+        os.lseek(fd, 0, os.SEEK_SET)
+        fd2 = os.dup(fd)
+        assert os.read(fd, 2) == b"01"
+        assert os.read(fd2, 2) == b"23"  # shared offset, like POSIX dup
+        os.close(fd2)
+        assert os.read(fd, 2) == b"45"  # original still open
+        os.close(fd)
+
+    def test_dup2_replaces_plfs_target(self, interposer, f, mnt):
+        fd_a = os.open(f, os.O_CREAT | os.O_RDWR)
+        fd_b = os.open(f"{mnt}/other", os.O_CREAT | os.O_RDWR)
+        os.write(fd_a, b"AAA")
+        os.dup2(fd_a, fd_b)
+        # fd_b now refers to the first file.
+        os.lseek(fd_b, 0, os.SEEK_SET)
+        assert os.read(fd_b, 3) == b"AAA"
+        os.close(fd_a)
+        os.close(fd_b)
+
+    def test_dup2_same_fd_is_noop(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        assert os.dup2(fd, fd) == fd
+        os.close(fd)
+
+
+class TestFdMetadata:
+    def test_fstat_logical_size(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        os.write(fd, b"x" * 1234)
+        assert os.fstat(fd).st_size == 1234
+        os.close(fd)
+
+    def test_fsync_flushes_index(self, interposer, f, backend):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        os.write(fd, b"payload")
+        os.fsync(fd)
+        from repro.plfs.container import Container
+
+        [(index_path, _)] = Container(os.path.join(backend, "file")).droppings()
+        assert os.path.getsize(index_path) > 0
+        os.close(fd)
+
+    def test_ftruncate(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd, b"0123456789")
+        os.ftruncate(fd, 4)
+        assert os.fstat(fd).st_size == 4
+        os.close(fd)
+
+    def test_read_on_wronly_fd_raises_ebadf(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        with pytest.raises(OSError) as exc:
+            os.read(fd, 1)
+        assert exc.value.errno == errno.EBADF
+        os.close(fd)
+
+    def test_write_on_rdonly_fd_raises_ebadf(self, interposer, f):
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        os.close(fd)
+        fd = os.open(f, os.O_RDONLY)
+        with pytest.raises(OSError) as exc:
+            os.write(fd, b"x")
+        assert exc.value.errno == errno.EBADF
+        os.close(fd)
+
+    def test_sendfile_on_plfs_fd_gives_einval(self, interposer, f, tmp_path):
+        fd_in = os.open(f, os.O_CREAT | os.O_RDWR)
+        os.write(fd_in, b"data")
+        fd_out = os.open(str(tmp_path / "out"), os.O_CREAT | os.O_WRONLY)
+        with pytest.raises(OSError) as exc:
+            os.sendfile(fd_out, fd_in, 0, 4)
+        assert exc.value.errno == errno.EINVAL
+        os.close(fd_in)
+        os.close(fd_out)

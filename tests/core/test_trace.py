@@ -1,0 +1,143 @@
+"""Tests for the stacking I/O tracer (the paper's footnote-1 scenario)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.interpose import Interposer
+from repro.core.trace import Tracer, traced
+
+
+class TestTracerAlone:
+    def test_counts_os_level_io(self, tmp_path):
+        path = str(tmp_path / "f")
+        with traced() as tracer:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            os.write(fd, b"0123456789")
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.read(fd, 4)
+            os.pread(fd, 2, 4)
+            os.pwrite(fd, b"xx", 8)
+            os.close(fd)
+        report = tracer.report()
+        stats = report.files[path]
+        assert stats.opens == 1
+        assert stats.writes == 2
+        assert stats.reads == 2
+        assert stats.bytes_written == 12
+        assert stats.bytes_read == 6
+        assert stats.max_write == 10
+        assert report.total_ops == 5
+
+    def test_untracked_after_uninstall(self, tmp_path):
+        tracer = Tracer()
+        tracer.install()
+        tracer.uninstall()
+        fd = os.open(str(tmp_path / "x"), os.O_CREAT | os.O_WRONLY)
+        os.write(fd, b"y")
+        os.close(fd)
+        assert tracer.report().files == {}
+
+    def test_builtin_open_counts_opens(self, tmp_path):
+        path = str(tmp_path / "g")
+        with traced() as tracer:
+            with open(path, "w") as fh:
+                fh.write("hello")
+        assert tracer.report().files[path].opens == 1
+
+    def test_double_install_rejected(self):
+        tracer = Tracer()
+        tracer.install()
+        try:
+            with pytest.raises(RuntimeError):
+                tracer.install()
+        finally:
+            tracer.uninstall()
+        with pytest.raises(RuntimeError):
+            tracer.uninstall()
+
+    def test_timing_recorded(self, tmp_path):
+        clock_values = iter(float(i) for i in range(100))
+        tracer = Tracer(clock=lambda: next(clock_values))
+        tracer.install()
+        try:
+            fd = os.open(str(tmp_path / "t"), os.O_CREAT | os.O_WRONLY)
+            os.write(fd, b"abc")
+            os.close(fd)
+        finally:
+            tracer.uninstall()
+        stats = tracer.report().files[str(tmp_path / "t")]
+        assert stats.write_time == 1.0  # one tick per write with the fake clock
+
+    def test_reset(self, tmp_path):
+        with traced() as tracer:
+            fd = os.open(str(tmp_path / "r"), os.O_CREAT | os.O_WRONLY)
+            os.close(fd)
+            tracer.reset()
+        assert tracer.report().files == {}
+
+    def test_render(self, tmp_path):
+        with traced() as tracer:
+            fd = os.open(str(tmp_path / "render-me"), os.O_CREAT | os.O_WRONLY)
+            os.write(fd, b"zz")
+            os.close(fd)
+        text = tracer.report().render()
+        assert "render-me" in text
+        assert "total:" in text
+
+
+class TestStackingWithLdplfs:
+    def test_tracer_over_ldplfs_sees_logical_io(self, mnt, backend):
+        """Tracer installed after LDPLFS: observes the application's view
+        (logical paths under the mount point)."""
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        try:
+            with traced() as tracer:
+                fd = os.open(f"{mnt}/traced.dat", os.O_CREAT | os.O_WRONLY)
+                os.write(fd, b"through both layers")
+                os.close(fd)
+            report = tracer.report()
+        finally:
+            ip.uninstall()
+        stats = report.files[f"{mnt}/traced.dat"]
+        assert stats.opens == 1
+        assert stats.bytes_written == 19
+        # And the data really landed in PLFS.
+        from repro.plfs import is_container
+
+        assert is_container(os.path.join(backend, "traced.dat"))
+
+    def test_tracer_under_ldplfs_sees_physical_io(self, mnt, backend):
+        """Tracer installed first: LDPLFS saves the *traced* functions as
+        its originals, so backend dropping traffic is what gets counted."""
+        tracer = Tracer()
+        tracer.install()
+        try:
+            ip = Interposer([(mnt, backend)])
+            ip.install()
+            try:
+                fd = os.open(f"{mnt}/deep.dat", os.O_CREAT | os.O_WRONLY)
+                os.write(fd, b"x" * 100)
+                os.close(fd)
+            finally:
+                ip.uninstall()
+        finally:
+            tracer.uninstall()
+        report = tracer.report()
+        # The logical path never reaches this layer; dropping files do.
+        assert f"{mnt}/deep.dat" not in report.files
+        dropping_paths = [p for p in report.files if "dropping.data" in p]
+        assert len(dropping_paths) == 1
+        assert report.files[dropping_paths[0]].bytes_written == 100
+
+    def test_layers_unwind_cleanly(self, mnt, backend):
+        orig_open = os.open
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        tracer = Tracer().install()
+        tracer.uninstall()
+        ip.uninstall()
+        assert os.open is orig_open

@@ -1,0 +1,184 @@
+"""Tests for shared-file lanes vs private streams (the PLFS advantage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SIERRA, MINERVA, Platform
+from repro.fs import STRIPE_UNIT, PosixClient, SharedFile, StreamFile
+from repro.sim import Environment
+from repro.sim.stats import MB
+
+
+def setup(machine=SIERRA):
+    env = Environment()
+    return env, Platform(env, machine)
+
+
+class TestSharedFile:
+    def test_lane_count_matches_concurrency(self):
+        env, platform = setup()
+        f = SharedFile(platform, "x")
+        assert len(f.lanes) == SIERRA.perf.shared_file_concurrency
+
+    def test_segments_split_at_stripe_boundaries(self):
+        env, platform = setup()
+        f = SharedFile(platform, "x")
+        segs = f.segments(0, 2.5 * STRIPE_UNIT)
+        assert segs == [
+            (0, STRIPE_UNIT),
+            (STRIPE_UNIT, STRIPE_UNIT),
+            (2 * STRIPE_UNIT, 0.5 * STRIPE_UNIT),
+        ]
+
+    def test_segments_unaligned_offset(self):
+        env, platform = setup()
+        f = SharedFile(platform, "x")
+        segs = f.segments(STRIPE_UNIT / 2, STRIPE_UNIT)
+        assert segs == [
+            (STRIPE_UNIT / 2, STRIPE_UNIT / 2),
+            (STRIPE_UNIT, STRIPE_UNIT / 2),
+        ]
+
+    def test_lane_for_round_robins_by_stripe(self):
+        env, platform = setup()
+        f = SharedFile(platform, "x")
+        lanes = {f.lane_for(i * STRIPE_UNIT)[0] for i in range(len(f.lanes))}
+        assert len(lanes) == len(f.lanes)
+
+    def test_close_releases_streams(self):
+        env, platform = setup()
+        before = [s.open_streams for s in platform.servers]
+        f = SharedFile(platform, "x")
+        f.close()
+        f.close()  # idempotent
+        assert [s.open_streams for s in platform.servers] == before
+
+    def test_same_lane_writes_serialise(self):
+        env, platform = setup(MINERVA)  # one lane
+        f = SharedFile(platform, "x")
+        client = PosixClient(platform, 0, 0)
+        other = PosixClient(platform, 1, 0)
+        done = []
+
+        def writer(c, tag):
+            yield from c.write_shared(f, 0, 1 * MB)
+            done.append((tag, env.now))
+
+        env.process(writer(client, "a"))
+        env.process(writer(other, "b"))
+        env.run()
+        # Second writer finishes roughly one extra server-service later.
+        assert done[1][1] > done[0][1] * 1.5
+
+    def test_shared_write_tracks_size(self):
+        env, platform = setup()
+        f = SharedFile(platform, "x")
+        client = PosixClient(platform, 0, 0)
+
+        def proc():
+            yield from client.write_shared(f, 10 * MB, 2 * MB)
+
+        env.run(until=env.process(proc()))
+        assert f.size == 12 * MB
+
+
+class TestStreamFile:
+    def test_appends_grow_size(self):
+        env, platform = setup()
+        f = StreamFile(platform, "d")
+        client = PosixClient(platform, 0, 0)
+
+        def proc():
+            yield from client.append_stream(f, 8 * MB, cache_gate=float("inf"))
+            yield from client.append_stream(f, 8 * MB, cache_gate=float("inf"))
+
+        env.run(until=env.process(proc()))
+        assert f.size == 16 * MB
+
+    def test_concurrent_streams_beat_one_shared_file(self):
+        """The partitioning advantage: many writers to private streams
+        beat the same writers contending for one shared file's lanes."""
+        writers = 8
+
+        def timed(shared: bool) -> float:
+            env, platform = setup(MINERVA)
+            clients = [PosixClient(platform, n, 0) for n in range(writers)]
+            if shared:
+                f = SharedFile(platform, "s")
+
+                def writer(c, i):
+                    for step in range(4):
+                        offset = (step * writers + i) * 8 * MB
+                        yield from c.write_shared(f, offset, 8 * MB)
+
+            else:
+                streams = [StreamFile(platform, f"d{i}") for i in range(writers)]
+
+                def writer(c, i):
+                    for _ in range(4):
+                        yield from c.append_stream(
+                            streams[i], 8 * MB, cache_gate=float("inf")
+                        )
+
+            procs = [env.process(writer(c, i)) for i, c in enumerate(clients)]
+
+            def waiter():
+                yield env.all_of(procs)
+
+            env.run(until=env.process(waiter()))
+            return env.now
+
+        assert timed(shared=False) < 0.7 * timed(shared=True)
+
+    def test_small_append_goes_through_cache(self):
+        env, platform = setup()
+        f = StreamFile(platform, "d")
+        client = PosixClient(platform, 0, 0)
+
+        def proc():
+            yield from client.append_stream(f, 1 * MB)  # gate defaults small
+            return env.now
+
+        t = env.run(until=env.process(proc()))
+        # Returned at memcpy speed, far faster than the disk service time.
+        assert t < 2 * (1 * MB / SIERRA.perf.memcpy_bandwidth) + 1e-6
+        assert platform.cache(0, 0).absorbed_bytes == 1 * MB
+
+    def test_cache_gate_overrides_size(self):
+        env, platform = setup()
+        f = StreamFile(platform, "d")
+        client = PosixClient(platform, 0, 0)
+
+        def proc():
+            # Large aggregated write, small per-rank gate: still cached.
+            yield from client.append_stream(f, 16 * MB, cache_gate=1 * MB)
+
+        env.run(until=env.process(proc()))
+        assert platform.cache(0, 0).absorbed_bytes == 16 * MB
+
+    def test_write_through_above_threshold(self):
+        env, platform = setup()
+        f = StreamFile(platform, "d")
+        client = PosixClient(platform, 0, 0)
+
+        def proc():
+            yield from client.append_stream(f, 8 * MB)  # above 4 MB gate
+
+        env.run(until=env.process(proc()))
+        assert platform.cache(0, 0).absorbed_bytes == 0
+        assert f.server.bytes_serviced == 8 * MB
+
+    def test_read_stream_sequential_vs_random(self):
+        def timed(sequential):
+            env, platform = setup()
+            f = StreamFile(platform, "d")
+            client = PosixClient(platform, 0, 0)
+
+            def proc():
+                yield from client.read_stream(f, 1 * MB, sequential=sequential)
+
+            env.run(until=env.process(proc()))
+            return env.now
+
+        assert timed(True) < timed(False)

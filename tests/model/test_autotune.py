@@ -1,0 +1,69 @@
+"""Tests for method auto-selection (the paper's auto-optimisation goal)."""
+
+from __future__ import annotations
+
+from repro.cluster import MINERVA, SIERRA
+from repro.model import WorkloadPattern, choose_method, mds_safe_writer_limit
+from repro.sim.stats import GB, MB
+
+
+def flash_pattern(nodes: int) -> WorkloadPattern:
+    ranks = nodes * 12
+    return WorkloadPattern(
+        nodes=nodes, writers=ranks, openers=ranks,
+        total_bytes=205 * MB * ranks, write_size=205 * MB / 24,
+        collective=False,
+    )
+
+
+class TestChooseMethod:
+    def test_recommends_plfs_route_at_moderate_scale(self):
+        rec = choose_method(SIERRA, flash_pattern(8))
+        assert rec.method.uses_plfs
+        assert rec.plfs_helps
+        assert rec.speedup_vs_mpiio > 1.5
+        assert "MB/s" in rec.explanation
+
+    def test_recommends_mpiio_in_collapse_regime(self):
+        rec = choose_method(SIERRA, flash_pattern(256))
+        assert rec.method.name == "MPI-IO"
+        assert not rec.plfs_helps
+        assert "metadata" in rec.explanation
+
+    def test_never_recommends_fuse(self):
+        # FUSE is dominated by LDPLFS/ROMIO everywhere in this model.
+        for nodes in (2, 16, 64):
+            rec = choose_method(MINERVA, flash_pattern(nodes))
+            assert rec.method.name != "FUSE"
+
+    def test_predictions_cover_all_methods(self):
+        rec = choose_method(SIERRA, flash_pattern(8))
+        assert set(rec.predictions) == {"MPI-IO", "FUSE", "ROMIO", "LDPLFS"}
+
+
+class TestSafeWriterLimit:
+    def test_limit_exists_on_lustre(self):
+        limit = mds_safe_writer_limit(SIERRA, flash_pattern(8))
+        assert limit is not None
+        # The paper's crossover: PLFS stops helping in the low thousands
+        # of writers on Sierra's dedicated MDS.
+        assert 384 <= limit <= 6144
+
+    def test_limit_mechanism_differs_by_filesystem(self):
+        """Past its limit, Sierra's PLFS routes are metadata-bound (the
+        dedicated-MDS cliff); Minerva's merely fall to storage-level
+        parity (stream interleaving on a 2-server GPFS) — the distinction
+        the paper draws between the two architectures."""
+        beyond = flash_pattern(256)
+        sierra = choose_method(SIERRA, beyond)
+        assert "metadata" in sierra.predictions["LDPLFS"].bottleneck
+
+        minerva_nodes = 128
+        ranks = minerva_nodes * 12
+        pat = WorkloadPattern(
+            nodes=minerva_nodes, writers=ranks, openers=ranks,
+            total_bytes=205 * MB * ranks, write_size=205 * MB / 24,
+            collective=False,
+        )
+        minerva = choose_method(MINERVA, pat)
+        assert "metadata" not in minerva.predictions["LDPLFS"].bottleneck

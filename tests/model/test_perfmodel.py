@@ -1,0 +1,123 @@
+"""Tests for the analytic performance model (experiment M1 support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MINERVA, SIERRA
+from repro.model import WorkloadPattern, predict_all, predict_write
+from repro.mpiio import FUSE, LDPLFS, MPIIO, ROMIO
+from repro.sim.stats import GB, MB
+
+
+def flash_pattern(nodes: int, ppn: int = 12) -> WorkloadPattern:
+    ranks = nodes * ppn
+    return WorkloadPattern(
+        nodes=nodes,
+        writers=ranks,
+        openers=ranks,
+        total_bytes=205 * MB * ranks,
+        write_size=205 * MB / 24,
+        collective=False,
+    )
+
+
+def mpiio_test_pattern(nodes: int, ppn: int = 1) -> WorkloadPattern:
+    ranks = nodes * ppn
+    return WorkloadPattern(
+        nodes=nodes,
+        writers=nodes,  # one aggregator per node
+        openers=ranks,
+        total_bytes=1 * GB * ranks,
+        write_size=8 * MB,
+        collective=True,
+    )
+
+
+class TestPatterns:
+    def test_backend_write_size_collective(self):
+        p = mpiio_test_pattern(4, ppn=4)
+        assert p.backend_write_size == 32 * MB
+
+    def test_backend_write_size_independent(self):
+        p = flash_pattern(2)
+        assert p.backend_write_size == p.write_size
+
+    def test_writes_per_writer(self):
+        p = mpiio_test_pattern(4, ppn=1)
+        assert p.writes_per_writer == pytest.approx(128)
+
+
+class TestPredictions:
+    def test_plfs_beats_mpiio_minerva(self):
+        preds = predict_all(MINERVA, mpiio_test_pattern(16))
+        assert preds["LDPLFS"].bandwidth_mbps > 1.5 * preds["MPI-IO"].bandwidth_mbps
+
+    def test_ldplfs_close_to_romio(self):
+        preds = predict_all(MINERVA, mpiio_test_pattern(16))
+        assert preds["LDPLFS"].bandwidth_mbps == pytest.approx(
+            preds["ROMIO"].bandwidth_mbps, rel=0.05
+        )
+        assert preds["LDPLFS"].bandwidth_mbps >= preds["ROMIO"].bandwidth_mbps
+
+    def test_fuse_is_slowest_plfs_route(self):
+        preds = predict_all(MINERVA, mpiio_test_pattern(16))
+        assert preds["FUSE"].bandwidth_mbps < preds["ROMIO"].bandwidth_mbps
+        assert preds["FUSE"].bandwidth_mbps < preds["LDPLFS"].bandwidth_mbps
+
+    def test_mds_collapse_predicted_at_scale(self):
+        small = predict_write(SIERRA, LDPLFS, flash_pattern(8))
+        large = predict_write(SIERRA, LDPLFS, flash_pattern(256))
+        assert large.bandwidth_mbps < 0.4 * small.bandwidth_mbps
+        assert "metadata" in large.bottleneck
+        assert "metadata" not in small.bottleneck
+
+    def test_mpiio_immune_to_scale_collapse(self):
+        small = predict_write(SIERRA, MPIIO, flash_pattern(8))
+        large = predict_write(SIERRA, MPIIO, flash_pattern(256))
+        assert large.bandwidth_mbps == pytest.approx(small.bandwidth_mbps, rel=0.2)
+
+    def test_cache_credits_small_writes(self):
+        cached = WorkloadPattern(
+            nodes=86, writers=86, openers=1024,
+            total_bytes=6.4 * GB, write_size=320 * 1024, collective=True,
+        )
+        direct = WorkloadPattern(
+            nodes=86, writers=86, openers=1024,
+            total_bytes=6.4 * GB, write_size=8 * MB, collective=True,
+        )
+        p_cached = predict_write(SIERRA, LDPLFS, cached)
+        p_direct = predict_write(SIERRA, LDPLFS, direct)
+        assert p_cached.components["cached_bytes"] > 0
+        assert p_direct.components["cached_bytes"] == 0
+        assert p_cached.bandwidth_mbps > p_direct.bandwidth_mbps
+
+    def test_components_exposed(self):
+        p = predict_write(SIERRA, ROMIO, flash_pattern(8))
+        for key in ("data_seconds", "mds_seconds", "storage_rate", "client_rate"):
+            assert key in p.components
+
+
+class TestModelVsSimulator:
+    """The M1 validation at two spot points (full grid in benchmarks/)."""
+
+    @pytest.mark.parametrize("nodes", [8, 256])
+    def test_flash_within_tolerance(self, nodes):
+        from repro.workloads import run_flashio
+
+        sim = run_flashio(SIERRA, LDPLFS, nodes).write_bandwidth
+        model = predict_write(SIERRA, LDPLFS, flash_pattern(nodes)).bandwidth_mbps
+        assert model == pytest.approx(sim, rel=0.45)
+
+    def test_mpiio_test_within_tolerance(self):
+        from repro.workloads import run_mpiio_test
+
+        sim = run_mpiio_test(
+            MINERVA, LDPLFS, 16, 1, per_proc=128 * MB, read_back=False
+        ).write_bandwidth
+        pattern = WorkloadPattern(
+            nodes=16, writers=16, openers=16,
+            total_bytes=16 * 128 * MB, write_size=8 * MB, collective=True,
+        )
+        model = predict_write(MINERVA, LDPLFS, pattern).bandwidth_mbps
+        assert model == pytest.approx(sim, rel=0.45)

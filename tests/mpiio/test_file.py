@@ -1,0 +1,156 @@
+"""Tests for the simulated MPI-IO file (collective + independent paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SIERRA, Platform
+from repro.mpiio import FUSE, LDPLFS, MPIIO, ROMIO, Communicator, MPIIOSimFile
+from repro.sim import Environment
+from repro.sim.stats import MB
+
+
+def setup(method, nodes=2, ppn=2, machine=SIERRA):
+    env = Environment()
+    platform = Platform(env, machine)
+    comm = Communicator(nodes, ppn)
+    return env, platform, MPIIOSimFile(platform, method, comm)
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestOpen:
+    def test_plfs_open_registers_every_rank(self):
+        env, platform, f = setup(ROMIO, nodes=3, ppn=4)
+        run(env, f.open_all())
+        assert platform.mds.ops.counts["openhost_create"] == 12
+        assert platform.mds.ops.counts["hostdir_mkdir"] == 3
+
+    def test_shared_open_single_metadata_op(self):
+        env, platform, f = setup(MPIIO, nodes=3, ppn=4)
+        run(env, f.open_all())
+        assert platform.mds.ops.counts == {"shared_open": 1}
+
+    def test_backend_choice(self):
+        _, _, f = setup(MPIIO)
+        assert f.shared is not None and f.container is None
+        _, _, g = setup(LDPLFS)
+        assert g.container is not None and g.shared is None
+
+
+class TestCollectiveWrite:
+    def test_write_at_all_moves_all_bytes(self):
+        env, platform, f = setup(LDPLFS, nodes=2, ppn=2)
+        run(env, f.open_all())
+        run(env, f.write_at_all(8 * MB))
+        # 2 nodes x 2 ranks x 8 MB all land on servers (uncached: 16 MB
+        # aggregated per node with an 8 MB per-rank gate > threshold).
+        assert platform.total_bytes_serviced() == 32 * MB
+
+    def test_only_aggregators_create_droppings(self):
+        env, platform, f = setup(ROMIO, nodes=2, ppn=4)
+        run(env, f.open_all())
+        run(env, f.write_at_all(8 * MB))
+        assert f.container.dropping_count == 2  # one per node, not 8
+
+    def test_small_rank_writes_use_cache(self):
+        env, platform, f = setup(ROMIO, nodes=1, ppn=4)
+        run(env, f.open_all())
+        run(env, f.write_at_all(0.5 * MB))  # per-rank gate below threshold
+        agg_cache = platform.cache(0, 0)
+        assert agg_cache.absorbed_bytes == 2 * MB
+
+    def test_shared_write_never_cached(self):
+        env, platform, f = setup(MPIIO, nodes=1, ppn=4)
+        run(env, f.open_all())
+        run(env, f.write_at_all(0.5 * MB))
+        assert platform.cache(0, 0).absorbed_bytes == 0
+        assert platform.total_bytes_serviced() == 2 * MB
+
+    def test_offsets_advance_between_steps(self):
+        env, platform, f = setup(MPIIO, nodes=2, ppn=1)
+        run(env, f.open_all())
+        run(env, f.write_at_all(8 * MB))
+        run(env, f.write_at_all(8 * MB))
+        assert f.shared.size == 32 * MB
+
+    def test_ppn_increases_gather_overhead(self):
+        def step_time(ppn):
+            env, platform, f = setup(ROMIO, nodes=1, ppn=ppn)
+            run(env, f.open_all())
+            t0 = env.now
+            # Same node total; per-rank sizes stay above the cache gate so
+            # both configurations take the direct path.
+            run(env, f.write_at_all(32 * MB / ppn))
+            return env.now - t0
+
+        assert step_time(4) > step_time(1)
+
+
+class TestFuseTransport:
+    def test_fuse_never_caches(self):
+        env, platform, f = setup(FUSE, nodes=1, ppn=1)
+        run(env, f.open_all())
+        run(env, f.write_at_all(1 * MB))  # small writes, but synchronous
+        assert platform.cache(0, 0).absorbed_bytes == 0
+
+    def test_fuse_slower_than_ldplfs(self):
+        def write_time(method):
+            env, platform, f = setup(method, nodes=1, ppn=1)
+            run(env, f.open_all())
+            t0 = env.now
+            run(env, f.write_at_all(8 * MB))
+            return env.now - t0
+
+        assert write_time(FUSE) > write_time(LDPLFS) * 1.2
+
+    def test_ldplfs_not_slower_than_romio(self):
+        def write_time(method):
+            env, platform, f = setup(method, nodes=1, ppn=1)
+            run(env, f.open_all())
+            t0 = env.now
+            run(env, f.write_at_all(8 * MB))
+            return env.now - t0
+
+        assert write_time(LDPLFS) <= write_time(ROMIO)
+
+
+class TestIndependentPath:
+    def test_independent_write_creates_per_rank_droppings(self):
+        env, platform, f = setup(LDPLFS, nodes=2, ppn=3)
+        run(env, f.open_all())
+
+        def all_ranks():
+            procs = [
+                env.process(f.write_independent(r, r.rank * 8 * MB, 8 * MB))
+                for r in f.comm.ranks
+            ]
+            yield env.all_of(procs)
+
+        run(env, all_ranks())
+        assert f.container.dropping_count == 6
+
+    def test_independent_shared_write(self):
+        env, platform, f = setup(MPIIO, nodes=1, ppn=2)
+        run(env, f.open_all())
+        run(env, f.write_independent(f.comm.ranks[0], 0, 8 * MB))
+        assert platform.total_bytes_serviced() == 8 * MB
+
+    def test_read_back_collective(self):
+        env, platform, f = setup(LDPLFS, nodes=2, ppn=1)
+        run(env, f.open_all())
+        run(env, f.write_at_all(8 * MB))
+        run(env, f.close_all())
+        served = platform.total_bytes_serviced()
+        run(env, f.open_all(for_read=True))
+        run(env, f.read_at_all(8 * MB))
+        assert platform.total_bytes_serviced() > served + 15 * MB
+
+    def test_close_all_flushes_plfs(self):
+        env, platform, f = setup(LDPLFS, nodes=2, ppn=1)
+        run(env, f.open_all())
+        run(env, f.write_at_all(8 * MB))
+        run(env, f.close_all())
+        assert platform.mds.ops.counts["close_meta"] >= 2

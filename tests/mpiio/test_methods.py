@@ -1,0 +1,57 @@
+"""Tests for the access-method cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SIERRA
+from repro.mpiio import ALL_METHODS, BY_NAME, FUSE, LDPLFS, MPIIO, PLFS_METHODS, ROMIO
+
+PERF = SIERRA.perf
+
+
+class TestMethodProperties:
+    def test_registry(self):
+        assert BY_NAME["MPI-IO"] is MPIIO
+        assert BY_NAME["LDPLFS"] is LDPLFS
+        assert set(ALL_METHODS) == {MPIIO, FUSE, ROMIO, LDPLFS}
+        assert MPIIO not in PLFS_METHODS
+
+    def test_plfs_flags(self):
+        assert not MPIIO.uses_plfs
+        assert FUSE.uses_plfs and ROMIO.uses_plfs and LDPLFS.uses_plfs
+
+    def test_ldplfs_cheaper_than_romio(self):
+        """The paper's observation: interposition costs less per call than
+        the ROMIO driver path (LDPLFS occasionally wins)."""
+        assert LDPLFS.per_call_overhead < ROMIO.per_call_overhead
+
+    def test_only_fuse_chunks(self):
+        assert FUSE.fuse_transport
+        assert not any(m.fuse_transport for m in (MPIIO, ROMIO, LDPLFS))
+
+
+class TestChunking:
+    def test_non_fuse_single_chunk(self):
+        assert ROMIO.chunks(10e6, PERF) == [10e6]
+        assert MPIIO.chunks(1.0, PERF) == [1.0]
+
+    def test_fuse_splits_at_max_write(self):
+        nbytes = 4 * PERF.fuse_max_write
+        chunks = FUSE.chunks(nbytes, PERF)
+        assert len(chunks) == 4
+        assert all(c == PERF.fuse_max_write for c in chunks)
+        assert sum(chunks) == nbytes
+
+    def test_fuse_remainder_chunk(self):
+        nbytes = 2.5 * PERF.fuse_max_write
+        chunks = FUSE.chunks(nbytes, PERF)
+        assert len(chunks) == 3
+        assert chunks[-1] == pytest.approx(0.5 * PERF.fuse_max_write)
+
+    def test_fuse_small_request_unsplit(self):
+        assert FUSE.chunks(PERF.fuse_max_write / 2, PERF) == [PERF.fuse_max_write / 2]
+
+    def test_chunk_overhead(self):
+        assert FUSE.chunk_overhead(PERF) == PERF.fuse_request_overhead
+        assert ROMIO.chunk_overhead(PERF) == 0.0

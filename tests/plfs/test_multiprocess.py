@@ -1,0 +1,75 @@
+"""Multi-process container tests: the N-writers-one-file scenario.
+
+PLFS's whole point is N processes writing one logical file without
+coordination.  These tests run real concurrent *subprocesses* (not
+threads) against one container — each becomes its own pid and therefore
+its own dropping stream — and verify the merged result.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import plfs
+
+WRITER = """
+import os, sys
+from repro import plfs
+
+path, rank, block = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+fd = plfs.plfs_open(path, os.O_CREAT | os.O_WRONLY)
+payload = bytes([65 + rank]) * block
+# Interleaved stripes: rank r owns blocks r, r+N, r+2N...
+for step in range(4):
+    offset = (step * 4 + rank) * block
+    plfs.plfs_write(fd, payload, block, offset)
+plfs.plfs_close(fd)
+"""
+
+
+@pytest.mark.parametrize("block", [64, 4096])
+def test_concurrent_subprocess_writers(container_path, block):
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WRITER, container_path, str(rank), str(block)]
+        )
+        for rank in range(4)
+    ]
+    for p in procs:
+        assert p.wait() == 0
+
+    # Four writers, each with its own dropping pair.
+    container = plfs.Container(container_path)
+    assert len(container.droppings()) == 4
+
+    fd = plfs.plfs_open(container_path, os.O_RDONLY)
+    data = plfs.plfs_read(fd, 16 * block, 0)
+    plfs.plfs_close(fd)
+    expected = b"".join(
+        bytes([65 + rank]) * block for _ in range(4) for rank in range(4)
+    )
+    assert data == expected
+    assert plfs.plfs_getattr(container_path).st_size == 16 * block
+
+
+def test_concurrent_writers_meta_consistent(container_path):
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", WRITER, container_path, str(rank), "256"]
+        )
+        for rank in range(3)
+    ]
+    for p in procs:
+        assert p.wait() == 0
+    # All markers released, cached size trustworthy and correct.
+    container = plfs.Container(container_path)
+    assert container.open_writers() == []
+    # Ranks 0..2 of a 4-way interleave: the last written block is rank 2's
+    # step-3 stripe, ending at block 15 (stripe 3 of each step is a hole).
+    assert container.cached_size() == 15 * 256
+    report = plfs.plfs_check(container_path)
+    assert report.ok

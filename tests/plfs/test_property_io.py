@@ -1,0 +1,116 @@
+"""Property-based tests: PLFS must be indistinguishable from a flat file.
+
+The model is a plain bytearray; the system under test is a PLFS container
+driven through the public API with randomised write/read/trunc sequences,
+including multiple pids (file partitioning) and overwrites (log garbage).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import plfs
+
+MAX_FILE = 2048
+
+payloads = st.binary(min_size=1, max_size=128)
+offsets = st.integers(min_value=0, max_value=MAX_FILE)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(st.tuples(offsets, payloads, st.integers(0, 3)), min_size=1, max_size=25)
+)
+def test_random_writes_match_bytearray_model(writes):
+    tmp = tempfile.mkdtemp()
+    try:
+        path = os.path.join(tmp, "f")
+        model = bytearray()
+        fd = plfs.plfs_open(path, os.O_CREAT | os.O_RDWR)
+        for offset, payload, pid in writes:
+            plfs.plfs_write(fd, payload, len(payload), offset, pid=pid)
+            if len(model) < offset + len(payload):
+                model.extend(b"\x00" * (offset + len(payload) - len(model)))
+            model[offset : offset + len(payload)] = payload
+        # Read through the same handle.
+        assert plfs.plfs_read(fd, len(model) + 64, 0) == bytes(model)
+        assert plfs.plfs_getattr(fd).st_size == len(model)
+        plfs.plfs_close(fd)
+        # And through a fresh read-only handle (on-disk index path).
+        fd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(fd, len(model) + 64, 0) == bytes(model)
+        plfs.plfs_close(fd)
+        # Flatten must not change content.
+        plfs.plfs_flatten_index(path)
+        fd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(fd, len(model) + 64, 0) == bytes(model)
+        plfs.plfs_close(fd)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+class PlfsFileMachine(RuleBasedStateMachine):
+    """Stateful comparison of a PLFS handle against a bytearray model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tmp = tempfile.mkdtemp()
+        self.path = os.path.join(self.tmp, "f")
+        self.model = bytearray()
+        self.fd = plfs.plfs_open(self.path, os.O_CREAT | os.O_RDWR)
+
+    @initialize()
+    def start(self):
+        pass
+
+    @rule(offset=offsets, payload=payloads, pid=st.integers(0, 2))
+    def write(self, offset, payload, pid):
+        n = plfs.plfs_write(self.fd, payload, len(payload), offset, pid=pid)
+        assert n == len(payload)
+        if len(self.model) < offset + n:
+            self.model.extend(b"\x00" * (offset + n - len(self.model)))
+        self.model[offset : offset + n] = payload
+
+    @rule(offset=offsets, count=st.integers(0, 256))
+    def read(self, offset, count):
+        expected = bytes(self.model[offset : offset + count])
+        assert plfs.plfs_read(self.fd, count, offset) == expected
+
+    @rule()
+    def sync(self):
+        plfs.plfs_sync(self.fd)
+
+    @rule(size=st.integers(0, MAX_FILE))
+    def truncate(self, size):
+        plfs.plfs_trunc(self.fd, size)
+        if size <= len(self.model):
+            del self.model[size:]
+        else:
+            self.model.extend(b"\x00" * (size - len(self.model)))
+
+    @rule()
+    def reopen(self):
+        plfs.plfs_close(self.fd)
+        self.fd = plfs.plfs_open(self.path, os.O_RDWR)
+
+    @invariant()
+    def size_matches(self):
+        assert plfs.plfs_getattr(self.fd).st_size == len(self.model)
+
+    def teardown(self):
+        try:
+            plfs.plfs_close(self.fd)
+        finally:
+            shutil.rmtree(self.tmp, ignore_errors=True)
+
+
+PlfsFileMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPlfsFileStateful = PlfsFileMachine.TestCase

@@ -1,0 +1,149 @@
+"""Tests for container maintenance tools (check / recover / usage)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import plfs
+from repro.plfs import constants
+from repro.plfs.tools import ContainerReport, main, plfs_check, plfs_recover, plfs_usage
+
+
+@pytest.fixture
+def filled(container_path):
+    """A closed container with some overwrites (log garbage)."""
+    fd = plfs.plfs_open(container_path, os.O_CREAT | os.O_WRONLY)
+    plfs.plfs_write(fd, b"A" * 100, 100, 0)
+    plfs.plfs_write(fd, b"B" * 100, 100, 0)  # shadows the first write
+    plfs.plfs_write(fd, b"C" * 50, 50, 200)
+    plfs.plfs_close(fd)
+    return container_path
+
+
+class TestCheck:
+    def test_clean_container_ok(self, filled):
+        report = plfs_check(filled)
+        assert report.ok
+        assert report.logical_size == 250
+        assert report.physical_bytes == 250
+        assert report.records == 3
+        assert report.droppings == 1
+        assert report.garbage_bytes == 100
+        assert report.garbage_ratio == pytest.approx(0.4)
+        assert "OK" in report.render()
+
+    def test_empty_container_ok(self, container_path):
+        plfs.plfs_create(container_path)
+        report = plfs_check(container_path)
+        assert report.ok
+        assert report.logical_size == 0
+        assert report.droppings == 0
+
+    def test_not_a_container_raises(self, backend):
+        with pytest.raises(plfs.ContainerNotFoundError):
+            plfs_check(os.path.join(backend, "nope"))
+
+    def test_truncated_index_detected(self, filled):
+        [(index_path, _)] = plfs.Container(filled).droppings()
+        with open(index_path, "r+b") as fh:
+            fh.truncate(os.path.getsize(index_path) - 3)
+        report = plfs_check(filled)
+        assert not report.ok
+        assert any("multiple" in p for p in report.problems)
+
+    def test_truncated_data_detected(self, filled):
+        [(_, data_path)] = plfs.Container(filled).droppings()
+        with open(data_path, "r+b") as fh:
+            fh.truncate(10)
+        report = plfs_check(filled)
+        assert not report.ok
+        assert any("past the end" in p for p in report.problems)
+
+    def test_missing_index_detected(self, filled):
+        [(index_path, _)] = plfs.Container(filled).droppings()
+        os.unlink(index_path)
+        report = plfs_check(filled)
+        assert not report.ok
+
+    def test_orphan_index_warned(self, filled):
+        [(index_path, data_path)] = plfs.Container(filled).droppings()
+        orphan = index_path.replace("dropping.index.", "dropping.index.9")
+        with open(orphan, "wb"):
+            pass
+        report = plfs_check(filled)
+        assert any("orphan" in w for w in report.warnings)
+
+    def test_stale_openhost_warned(self, filled):
+        plfs.Container(filled).register_open(pid=999)
+        report = plfs_check(filled)
+        assert report.ok  # a marker alone is not corruption
+        assert any("openhost" in w for w in report.warnings)
+
+    def test_bad_cached_metadata_detected(self, filled):
+        c = plfs.Container(filled)
+        c.clear_meta()
+        c.drop_meta(9999, 9999)
+        report = plfs_check(filled)
+        assert not report.ok
+        assert any("cached metadata" in p for p in report.problems)
+
+
+class TestRecover:
+    def test_recover_rebuilds_meta(self, filled):
+        c = plfs.Container(filled)
+        c.clear_meta()
+        c.drop_meta(9999, 9999)  # wrong
+        report = plfs_recover(filled)
+        assert report.ok
+        assert c.cached_size() == 250
+        assert plfs.plfs_getattr(filled).st_size == 250
+
+    def test_recover_clears_stale_markers(self, filled):
+        c = plfs.Container(filled)
+        c.register_open(pid=4242)
+        report = plfs_recover(filled)
+        assert report.ok
+        assert c.open_writers() == []
+
+    def test_recover_empty_container(self, container_path):
+        plfs.plfs_create(container_path)
+        report = plfs_recover(container_path)
+        assert report.ok
+
+
+class TestUsage:
+    def test_usage_dict(self, filled):
+        usage = plfs_usage(filled)
+        assert usage["logical_bytes"] == 250
+        assert usage["physical_bytes"] == 250
+        assert usage["garbage_bytes"] == 100
+        assert usage["droppings"] == 1
+
+    def test_flatten_clears_garbage(self, filled):
+        plfs.plfs_flatten_index(filled)
+        usage = plfs_usage(filled)
+        assert usage["garbage_bytes"] == 0
+        assert usage["logical_bytes"] == 250
+
+
+class TestCli:
+    def test_check_exit_codes(self, filled, capsys):
+        assert main(["check", filled]) == 0
+        assert "OK" in capsys.readouterr().out
+        [(index_path, _)] = plfs.Container(filled).droppings()
+        os.unlink(index_path)
+        assert main(["check", filled]) == 1
+
+    def test_usage_output(self, filled, capsys):
+        assert main(["usage", filled]) == 0
+        assert "garbage_bytes" in capsys.readouterr().out
+
+    def test_recover_cli(self, filled, capsys):
+        plfs.Container(filled).register_open(pid=1)
+        assert main(["recover", filled]) == 0
+
+    def test_bad_args(self, capsys):
+        assert main([]) == 2
+        assert main(["frobnicate", "/x"]) == 2

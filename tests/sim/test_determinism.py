@@ -1,0 +1,74 @@
+"""Determinism guarantees: identical runs produce identical results.
+
+Every benchmark number in EXPERIMENTS.md depends on this: the simulator
+must be a pure function of its inputs, with no wall-clock or hash-seed
+dependence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MINERVA, SIERRA
+from repro.mpiio import LDPLFS, MPIIO, ROMIO
+from repro.sim import Environment
+from repro.sim.stats import MB
+from repro.workloads import run_bt, run_flashio, run_mpiio_test
+
+
+class TestWorkloadDeterminism:
+    def test_mpiio_test_repeatable(self):
+        runs = [
+            run_mpiio_test(MINERVA, LDPLFS, 4, 2, per_proc=32 * MB)
+            for _ in range(3)
+        ]
+        assert len({r.write_seconds for r in runs}) == 1
+        assert len({r.read_seconds for r in runs}) == 1
+
+    def test_flashio_repeatable(self):
+        a = run_flashio(SIERRA, ROMIO, 4)
+        b = run_flashio(SIERRA, ROMIO, 4)
+        assert a.write_seconds == b.write_seconds
+        assert a.mds_ops == b.mds_ops
+
+    def test_bt_repeatable(self):
+        a = run_bt(SIERRA, MPIIO, 16, "C")
+        b = run_bt(SIERRA, MPIIO, 16, "C")
+        assert a.write_seconds == b.write_seconds
+
+    def test_methods_are_order_independent(self):
+        """Running methods in a different order must not change results
+        (each run builds a fresh Environment/Platform)."""
+        first = run_flashio(SIERRA, MPIIO, 2).write_seconds
+        run_flashio(SIERRA, LDPLFS, 2)
+        second = run_flashio(SIERRA, MPIIO, 2).write_seconds
+        assert first == second
+
+
+class TestEngineDeterminism:
+    def test_event_ordering_reproducible(self):
+        def trace():
+            env = Environment()
+            log = []
+
+            def worker(tag, delay):
+                yield env.timeout(delay)
+                log.append(tag)
+                yield env.timeout(delay)
+                log.append(tag.upper())
+
+            for i, delay in enumerate([3, 1, 2, 1, 3]):
+                env.process(worker(f"w{i}", delay))
+            env.run()
+            return tuple(log)
+
+        assert trace() == trace()
+
+    def test_no_wall_clock_dependence(self):
+        # The simulated clock is under test control only.
+        env = Environment()
+        env.run(until=5)
+        assert env.now == 5
+        env2 = Environment()
+        env2.run(until=5)
+        assert env2.now == env.now

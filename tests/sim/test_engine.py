@@ -1,0 +1,236 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, SimError
+
+
+class TestTimeAndTimeouts:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_single_timeout(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5]
+
+    def test_timeouts_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            log.append((env.now, delay))
+
+        for d in (3, 1, 2):
+            env.process(proc(d))
+        env.run()
+        assert log == [(1, 1), (2, 2), (3, 3)]
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        log = []
+
+        def proc(tag):
+            yield env.timeout(1)
+            log.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimError):
+            env.timeout(-1)
+
+    def test_run_until_time(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run(until=4.5)
+        assert log == [1, 2, 3, 4]
+        assert env.now == 4.5
+        env.run()
+        assert log[-1] == 10
+
+    def test_chained_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(2)
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(until=p) == 3
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            return value + 1
+
+        assert env.run(until=env.process(parent())) == 43
+
+    def test_yield_completed_event_continues_immediately(self):
+        env = Environment()
+
+        def proc():
+            t = env.timeout(1)
+            yield env.timeout(5)  # t has long fired by now
+            yield t
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 5
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_rejected(self):
+        env = Environment()
+
+        def proc():
+            yield 7
+
+        with pytest.raises(SimError):
+            env.process(proc())
+            env.run()
+
+    def test_strict_mode_raises_process_exception(self):
+        env = Environment(strict=True)
+
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        env.process(proc())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_nonstrict_mode_fails_event(self):
+        env = Environment(strict=False)
+
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        p = env.process(proc())
+        with pytest.raises(ValueError):
+            env.run(until=p)
+
+    def test_failed_event_thrown_into_waiter(self):
+        env = Environment(strict=False)
+
+        def child():
+            yield env.timeout(1)
+            raise RuntimeError("child failed")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except RuntimeError:
+                return "caught"
+            return "not caught"
+
+        assert env.run(until=env.process(parent())) == "caught"
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        env = Environment()
+        ev = env.event()
+        results = []
+
+        def waiter():
+            value = yield ev
+            results.append(value)
+
+        def trigger():
+            yield env.timeout(3)
+            ev.succeed("payload")
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert results == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimError):
+            ev.succeed()
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimError):
+            env.event().value
+
+    def test_all_of_barrier(self):
+        env = Environment()
+
+        def worker(d):
+            yield env.timeout(d)
+
+        def coordinator():
+            yield env.all_of([env.process(worker(d)) for d in (5, 1, 3)])
+            return env.now
+
+        assert env.run(until=env.process(coordinator())) == 5
+
+    def test_all_of_empty(self):
+        env = Environment()
+
+        def proc():
+            yield env.all_of([])
+            return env.now
+
+        assert env.run(until=env.process(proc())) == 0
+
+    def test_run_until_event_deadlock_detected(self):
+        env = Environment()
+        ev = env.event()  # never triggered
+        with pytest.raises(SimError, match="deadlock"):
+            env.run(until=ev)
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7

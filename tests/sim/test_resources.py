@@ -1,0 +1,211 @@
+"""Tests for Resource, BandwidthPipe and Tank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import BandwidthPipe, Environment, Resource, Tank
+
+
+class TestResource:
+    def test_capacity_one_serialises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(tag):
+            yield from res.use(10)
+            log.append((tag, env.now))
+
+        for tag in "ab":
+            env.process(worker(tag))
+        env.run()
+        assert log == [("a", 10), ("b", 20)]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def worker(tag):
+            yield from res.use(10)
+            log.append((tag, env.now))
+
+        for tag in "abc":
+            env.process(worker(tag))
+        env.run()
+        assert log == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_fcfs_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag, arrive):
+            yield env.timeout(arrive)
+            yield from res.use(5)
+            order.append(tag)
+
+        env.process(worker("late", 2))
+        env.process(worker("early", 1))
+        env.process(worker("first", 0))
+        env.run()
+        assert order == ["first", "early", "late"]
+
+    def test_release_without_request(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            Resource(env).release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.queue_length == 2
+
+    def test_utilisation(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.use(5)
+
+        env.process(worker())
+        env.run(until=10)
+        assert res.utilisation(10) == pytest.approx(0.5)
+
+
+class TestBandwidthPipe:
+    def test_transfer_time(self):
+        env = Environment()
+        pipe = BandwidthPipe(env, bandwidth=100.0, latency=1.0)
+        assert pipe.transfer_time(200.0) == pytest.approx(3.0)
+
+    def test_transfers_serialise_on_one_channel(self):
+        env = Environment()
+        pipe = BandwidthPipe(env, bandwidth=10.0)
+        done = []
+
+        def sender(tag):
+            yield from pipe.transfer(100.0)
+            done.append((tag, env.now))
+
+        env.process(sender("a"))
+        env.process(sender("b"))
+        env.run()
+        assert done == [("a", 10), ("b", 20)]
+
+    def test_parallel_channels(self):
+        env = Environment()
+        pipe = BandwidthPipe(env, bandwidth=10.0, capacity=2)
+        done = []
+
+        def sender():
+            yield from pipe.transfer(100.0)
+            done.append(env.now)
+
+        env.process(sender())
+        env.process(sender())
+        env.run()
+        assert done == [10, 10]
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthPipe(Environment(), bandwidth=0)
+
+
+class TestTank:
+    def test_put_get_immediate(self):
+        env = Environment()
+        tank = Tank(env, capacity=100)
+
+        def proc():
+            yield tank.put(60)
+            assert tank.level == 60
+            yield tank.get(25)
+            assert tank.level == 35
+
+        env.process(proc())
+        env.run()
+        assert tank.level == 35
+
+    def test_put_blocks_until_space(self):
+        env = Environment()
+        tank = Tank(env, capacity=100, level=80)
+        log = []
+
+        def producer():
+            yield tank.put(50)  # needs 50 free; only 20 available
+            log.append(("put", env.now))
+
+        def drainer():
+            yield env.timeout(7)
+            yield tank.get(40)
+            log.append(("got", env.now))
+
+        env.process(producer())
+        env.process(drainer())
+        env.run()
+        assert log == [("got", 7), ("put", 7)]
+        assert tank.level == 90
+
+    def test_get_blocks_until_content(self):
+        env = Environment()
+        tank = Tank(env, capacity=10)
+        log = []
+
+        def consumer():
+            yield tank.get(5)
+            log.append(env.now)
+
+        def producer():
+            yield env.timeout(3)
+            yield tank.put(5)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [3]
+
+    def test_oversized_put_rejected(self):
+        env = Environment()
+        tank = Tank(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(11)
+
+    def test_get_up_to(self):
+        env = Environment()
+        tank = Tank(env, capacity=10, level=4)
+        assert tank.get_up_to(10) == 4
+        assert tank.level == 0
+        assert tank.get_up_to(1) == 0
+
+    def test_get_up_to_unblocks_putter(self):
+        env = Environment()
+        tank = Tank(env, capacity=10, level=10)
+        log = []
+
+        def producer():
+            yield tank.put(5)
+            log.append(env.now)
+
+        def drainer():
+            yield env.timeout(2)
+            tank.get_up_to(6)
+
+        env.process(producer())
+        env.process(drainer())
+        env.run()
+        assert log == [2]
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            Tank(Environment(), capacity=0)
+        with pytest.raises(ValueError):
+            Tank(Environment(), capacity=5, level=9)

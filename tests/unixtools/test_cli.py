@@ -1,0 +1,82 @@
+"""Tests for the ``ldplfs`` command-line front end."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.unixtools import cli
+
+
+@pytest.fixture
+def mounted(tmp_path):
+    mnt = str(tmp_path / "mnt")
+    backend = str(tmp_path / "backend")
+    return mnt, backend, f"{mnt}:{backend}"
+
+
+def run(argv):
+    return cli.main(argv)
+
+
+class TestCli:
+    def test_requires_mounts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["cat", str(tmp_path / "x")])
+
+    def test_bad_mount_syntax(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["--mount", "nodelimiter", "ls", "."])
+
+    def test_cp_then_md5sum(self, mounted, tmp_path, capsys):
+        mnt, backend, spec = mounted
+        src = tmp_path / "src.dat"
+        src.write_bytes(b"cli payload\n" * 10)
+        assert run(["--mount", spec, "cp", str(src), f"{mnt}/dst.dat"]) == 0
+        from repro.plfs import is_container
+
+        assert is_container(os.path.join(backend, "dst.dat"))
+        assert run(["--mount", spec, "md5sum", f"{mnt}/dst.dat"]) == 0
+        out = capsys.readouterr().out
+        import hashlib
+
+        assert hashlib.md5(b"cli payload\n" * 10).hexdigest() in out
+
+    def test_grep_exit_codes(self, mounted, capsys):
+        mnt, backend, spec = mounted
+        run_args = ["--mount", spec]
+        # create a file through the cp tool first
+        import tempfile
+
+        with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as fh:
+            fh.write("needle here\nnothing there\n")
+            tmp_name = fh.name
+        run(run_args + ["cp", tmp_name, f"{mnt}/hay.txt"])
+        assert run(run_args + ["grep", "needle", f"{mnt}/hay.txt"]) == 0
+        assert "needle here" in capsys.readouterr().out
+        assert run(run_args + ["grep", "absent", f"{mnt}/hay.txt"]) == 1
+
+    def test_ls_and_wc(self, mounted, tmp_path, capsys):
+        mnt, backend, spec = mounted
+        src = tmp_path / "s.txt"
+        src.write_text("a b\nc\n")
+        run(["--mount", spec, "cp", str(src), f"{mnt}/s.txt"])
+        run(["--mount", spec, "ls", mnt])
+        assert "s.txt" in capsys.readouterr().out
+        run(["--mount", spec, "ls", "-l", mnt])
+        assert "s.txt" in capsys.readouterr().out
+        run(["--mount", spec, "wc", f"{mnt}/s.txt"])
+        out = capsys.readouterr().out
+        assert out.split()[:3] == ["2", "3", "6"]
+
+    def test_mounts_from_env(self, mounted, tmp_path, capsys, monkeypatch):
+        mnt, backend, spec = mounted
+        from repro.core import config
+
+        monkeypatch.setenv(config.ENV_MOUNTS, spec)
+        src = tmp_path / "e.txt"
+        src.write_text("env works\n")
+        assert cli.main(["cp", str(src), f"{mnt}/e.txt"]) == 0
+        assert cli.main(["grep", "works", f"{mnt}/e.txt"]) == 0

@@ -1,0 +1,155 @@
+"""Tests for dd, head, tail and cmp — on flat files and PLFS containers."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.unixtools import cmp, dd, head, tail
+
+TEXT = "".join(f"line {i:04d}\n" for i in range(100)).encode()
+
+
+@pytest.fixture
+def flat(tmp_path):
+    p = tmp_path / "flat.txt"
+    p.write_bytes(TEXT)
+    return str(p)
+
+
+@pytest.fixture
+def plfs_copy(interposer, mnt):
+    path = f"{mnt}/copy.txt"
+    with open(path, "wb") as fh:
+        fh.write(TEXT)
+    return path
+
+
+class TestDd:
+    def test_whole_copy(self, flat, tmp_path):
+        dst = str(tmp_path / "out")
+        result = dd(flat, dst, bs=256)
+        assert result.bytes_copied == len(TEXT)
+        assert open(dst, "rb").read() == TEXT
+        assert result.full_blocks == len(TEXT) // 256
+        assert str(result).endswith("bytes copied")
+
+    def test_count_limits(self, flat, tmp_path):
+        dst = str(tmp_path / "out")
+        result = dd(flat, dst, bs=100, count=3)
+        assert result.bytes_copied == 300
+        assert open(dst, "rb").read() == TEXT[:300]
+
+    def test_skip_and_seek(self, flat, tmp_path):
+        dst = str(tmp_path / "out")
+        dd(flat, dst, bs=100, skip=2, count=1, seek=1)
+        data = open(dst, "rb").read()
+        assert data[:100] == b"\x00" * 100  # hole from seek
+        assert data[100:200] == TEXT[200:300]
+
+    def test_bad_bs(self, flat, tmp_path):
+        with pytest.raises(ValueError):
+            dd(flat, str(tmp_path / "x"), bs=0)
+
+    def test_dd_out_of_plfs(self, plfs_copy, tmp_path):
+        dst = str(tmp_path / "extracted")
+        result = dd(plfs_copy, dst, bs=128)
+        assert result.bytes_copied == len(TEXT)
+        assert open(dst, "rb").read() == TEXT
+
+    def test_dd_into_plfs_with_seek(self, interposer, mnt, flat):
+        dst = f"{mnt}/seeked.bin"
+        dd(flat, dst, bs=100, count=1, seek=2)
+        assert os.stat(dst).st_size == 300
+        fd = os.open(dst, os.O_RDONLY)
+        assert os.pread(fd, 100, 0) == b"\x00" * 100
+        assert os.pread(fd, 100, 200) == TEXT[:100]
+        os.close(fd)
+
+
+class TestHeadTail:
+    def test_head(self, flat):
+        assert head(flat, 3) == ["line 0000", "line 0001", "line 0002"]
+
+    def test_head_more_than_file(self, flat):
+        assert len(head(flat, 1000)) == 100
+
+    def test_tail(self, flat):
+        assert tail(flat, 2) == ["line 0098", "line 0099"]
+
+    def test_tail_whole_file(self, flat):
+        assert len(tail(flat, 1000)) == 100
+
+    def test_tail_empty(self, tmp_path):
+        p = tmp_path / "empty"
+        p.write_bytes(b"")
+        assert tail(str(p)) == []
+
+    def test_head_tail_on_plfs(self, plfs_copy):
+        assert head(plfs_copy, 1) == ["line 0000"]
+        assert tail(plfs_copy, 1) == ["line 0099"]
+
+    def test_tail_crosses_block_boundary(self, tmp_path):
+        p = tmp_path / "big"
+        payload = "".join(f"row {i}\n" for i in range(5000))
+        p.write_text(payload)
+        assert tail(str(p), 3) == ["row 4997", "row 4998", "row 4999"]
+
+
+class TestCmp:
+    def test_equal(self, flat, tmp_path):
+        other = tmp_path / "same"
+        other.write_bytes(TEXT)
+        result = cmp(flat, str(other))
+        assert result.equal and bool(result)
+        assert result.first_difference is None
+
+    def test_difference_located(self, flat, tmp_path):
+        mutated = bytearray(TEXT)
+        mutated[777] ^= 0xFF
+        other = tmp_path / "diff"
+        other.write_bytes(bytes(mutated))
+        result = cmp(flat, str(other))
+        assert not result.equal
+        assert result.first_difference == 777
+
+    def test_length_difference(self, flat, tmp_path):
+        other = tmp_path / "short"
+        other.write_bytes(TEXT[:500])
+        result = cmp(flat, str(other))
+        assert not result.equal
+        assert result.first_difference == 500
+
+    def test_plfs_vs_flat_identical(self, plfs_copy, flat):
+        assert cmp(plfs_copy, flat).equal
+
+
+class TestCliNewTools:
+    def test_dd_and_cmp_via_cli(self, tmp_path, capsys):
+        from repro.unixtools import cli
+
+        mnt = str(tmp_path / "m")
+        backend = str(tmp_path / "b")
+        spec = f"{mnt}:{backend}"
+        src = tmp_path / "src"
+        src.write_bytes(TEXT)
+        assert cli.main(["--mount", spec, "dd", str(src), f"{mnt}/d", "--bs", "128"]) == 0
+        assert "bytes copied" in capsys.readouterr().out
+        assert cli.main(["--mount", spec, "cmp", str(src), f"{mnt}/d"]) == 0
+        assert cli.main(["--mount", spec, "head", f"{mnt}/d", "-n", "1"]) == 0
+        assert capsys.readouterr().out.strip() == "line 0000"
+        assert cli.main(["--mount", spec, "tail", f"{mnt}/d", "-n", "1"]) == 0
+        assert capsys.readouterr().out.strip() == "line 0099"
+
+    def test_cmp_cli_differ_exit_code(self, tmp_path, capsys):
+        from repro.unixtools import cli
+
+        mnt = str(tmp_path / "m")
+        backend = str(tmp_path / "b")
+        a = tmp_path / "a"
+        a.write_bytes(b"one")
+        b = tmp_path / "bb"
+        b.write_bytes(b"two")
+        assert cli.main(["--mount", f"{mnt}:{backend}", "cmp", str(a), str(b)]) == 1
+        assert "differ" in capsys.readouterr().out

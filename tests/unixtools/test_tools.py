@@ -1,0 +1,136 @@
+"""UNIX tools on plain files and, via the shim, on PLFS containers.
+
+The Table II claim in miniature: each tool must produce byte-identical
+results on a PLFS container (through interposition) and on a flat file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+
+import pytest
+
+from repro.unixtools import cat, cp, grep, ls, md5sum, wc
+
+PAYLOAD = b"alpha beta\ngamma delta\nalpha again\n" * 50
+
+
+@pytest.fixture
+def flat_file(tmp_path):
+    p = tmp_path / "flat.dat"
+    p.write_bytes(PAYLOAD)
+    return str(p)
+
+
+@pytest.fixture
+def plfs_file(interposer, mnt):
+    path = f"{mnt}/container.dat"
+    with open(path, "wb") as fh:
+        fh.write(PAYLOAD)
+    return path
+
+
+class TestOnFlatFiles:
+    def test_cat_counts_bytes(self, flat_file):
+        out = io.BytesIO()
+        assert cat([flat_file], out) == len(PAYLOAD)
+        assert out.getvalue() == PAYLOAD
+
+    def test_cat_discarding_sink(self, flat_file):
+        assert cat([flat_file]) == len(PAYLOAD)
+
+    def test_cat_multiple(self, flat_file):
+        out = io.BytesIO()
+        assert cat([flat_file, flat_file], out) == 2 * len(PAYLOAD)
+
+    def test_cp(self, flat_file, tmp_path):
+        dst = str(tmp_path / "copy.dat")
+        assert cp(flat_file, dst) == len(PAYLOAD)
+        assert open(dst, "rb").read() == PAYLOAD
+
+    def test_cp_into_directory(self, flat_file, tmp_path):
+        d = tmp_path / "destdir"
+        d.mkdir()
+        cp(flat_file, str(d))
+        assert (d / "flat.dat").read_bytes() == PAYLOAD
+
+    def test_grep(self, flat_file):
+        hits = grep("alpha", [flat_file])
+        assert len(hits) == 100
+        path, lineno, line = hits[0]
+        assert lineno == 1 and "alpha" in line
+
+    def test_grep_fixed_string(self, flat_file):
+        assert grep("alpha.", [flat_file], fixed_string=True) == []
+
+    def test_grep_invert(self, flat_file):
+        hits = grep("alpha", [flat_file], invert=True)
+        assert len(hits) == 50  # only the gamma lines
+
+    def test_md5sum(self, flat_file):
+        [(digest, path)] = md5sum(flat_file)
+        assert digest == hashlib.md5(PAYLOAD).hexdigest()
+        assert path == flat_file
+
+    def test_wc(self, flat_file):
+        res = wc(flat_file)
+        assert res.lines == 150
+        assert res.bytes == len(PAYLOAD)
+        assert res.words == 300
+
+    def test_ls(self, tmp_path, flat_file):
+        names = ls(str(tmp_path))
+        assert "flat.dat" in names
+
+    def test_ls_long(self, tmp_path, flat_file):
+        entries = ls(str(tmp_path), long_format=True)
+        entry = next(e for e in entries if e.name == "flat.dat")
+        assert entry.size == len(PAYLOAD)
+        assert not entry.is_dir
+        assert entry.format_long().endswith("flat.dat")
+
+
+class TestOnPlfsContainers:
+    """Identical behaviour through the interposition layer (Table II)."""
+
+    def test_cat_identical(self, plfs_file):
+        out = io.BytesIO()
+        cat([plfs_file], out)
+        assert out.getvalue() == PAYLOAD
+
+    def test_cp_out_of_plfs(self, plfs_file, tmp_path):
+        dst = str(tmp_path / "extracted.dat")
+        cp(plfs_file, dst)
+        assert open(dst, "rb").read() == PAYLOAD
+
+    def test_cp_into_plfs(self, interposer, mnt, flat_file, backend):
+        dst = f"{mnt}/imported.dat"
+        cp(flat_file, dst)
+        out = io.BytesIO()
+        cat([dst], out)
+        assert out.getvalue() == PAYLOAD
+        from repro.plfs import is_container
+
+        assert is_container(os.path.join(backend, "imported.dat"))
+
+    def test_grep_identical(self, plfs_file, flat_file):
+        plfs_hits = grep("gamma", [plfs_file])
+        flat_hits = grep("gamma", [flat_file])
+        assert [(l, line) for _, l, line in plfs_hits] == [
+            (l, line) for _, l, line in flat_hits
+        ]
+
+    def test_md5sum_identical(self, plfs_file, flat_file):
+        [(d1, _)] = md5sum(plfs_file)
+        [(d2, _)] = md5sum(flat_file)
+        assert d1 == d2
+
+    def test_wc_identical(self, plfs_file, flat_file):
+        assert wc(plfs_file) == wc(flat_file)
+
+    def test_ls_long_reports_logical_size(self, interposer, mnt, plfs_file):
+        entries = ls(mnt, long_format=True)
+        entry = next(e for e in entries if e.name == "container.dat")
+        assert entry.size == len(PAYLOAD)

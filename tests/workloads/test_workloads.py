@@ -1,0 +1,149 @@
+"""Tests for the three benchmark workloads and their paper-level shapes.
+
+These assert the *qualitative* results the paper reports — who wins, where
+the crossovers fall — at reduced scale so the whole module runs in seconds.
+The full-scale sweeps live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MINERVA, SIERRA
+from repro.mpiio import FUSE, LDPLFS, MPIIO, ROMIO
+from repro.sim.stats import GB, MB
+from repro.workloads import (
+    BT_CLASSES,
+    bt_core_counts,
+    run_bt,
+    run_flashio,
+    run_mpiio_test,
+)
+
+
+class TestRunResult:
+    def test_bandwidth_units(self):
+        r = run_mpiio_test(MINERVA, MPIIO, 1, 1, per_proc=32 * MB, read_back=False)
+        assert r.total_bytes == 32 * MB
+        assert r.write_bandwidth == pytest.approx(32.0 / r.write_seconds)
+        assert r.read_bandwidth == 0.0
+        assert r.cores == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_mpiio_test(MINERVA, MPIIO, MINERVA.nodes + 1, 1)
+        with pytest.raises(ValueError):
+            run_mpiio_test(MINERVA, MPIIO, 1, 13)
+        with pytest.raises(ValueError):
+            run_mpiio_test(MINERVA, MPIIO, 1, 1, per_proc=1 * MB, block=8 * MB)
+
+
+class TestMpiioTestShapes:
+    """Fig. 3's orderings at a reduced per-proc volume."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for method in (MPIIO, FUSE, ROMIO, LDPLFS):
+            out[method.name] = run_mpiio_test(
+                MINERVA, method, 16, 1, per_proc=64 * MB
+            )
+        return out
+
+    def test_plfs_beats_mpiio_on_writes(self, results):
+        assert results["LDPLFS"].write_bandwidth > 1.5 * results["MPI-IO"].write_bandwidth
+        assert results["ROMIO"].write_bandwidth > 1.5 * results["MPI-IO"].write_bandwidth
+
+    def test_ldplfs_matches_romio(self, results):
+        ratio = results["LDPLFS"].write_bandwidth / results["ROMIO"].write_bandwidth
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_fuse_below_mpiio_on_writes(self, results):
+        """The paper: FUSE ~20% below plain MPI-IO for parallel writes."""
+        assert results["FUSE"].write_bandwidth < results["MPI-IO"].write_bandwidth
+
+    def test_fuse_well_below_other_plfs_routes(self, results):
+        assert results["FUSE"].write_bandwidth < 0.7 * results["LDPLFS"].write_bandwidth
+
+    def test_plfs_reads_beat_mpiio(self, results):
+        assert results["LDPLFS"].read_bandwidth > 1.5 * results["MPI-IO"].read_bandwidth
+
+    def test_write_bandwidth_scales_with_nodes(self):
+        small = run_mpiio_test(MINERVA, LDPLFS, 1, 1, per_proc=64 * MB, read_back=False)
+        large = run_mpiio_test(MINERVA, LDPLFS, 16, 1, per_proc=64 * MB, read_back=False)
+        assert large.write_bandwidth > 2 * small.write_bandwidth
+
+
+class TestBTShapes:
+    """Fig. 4's cache-driven behaviour, reduced to quick configurations."""
+
+    def test_core_count_sweeps(self):
+        assert bt_core_counts("C") == [4, 16, 64, 256, 1024]
+        assert bt_core_counts("D") == [64, 256, 1024, 4096]
+
+    def test_class_totals(self):
+        assert BT_CLASSES["C"].total_bytes == pytest.approx(6.4 * GB)
+        assert BT_CLASSES["D"].total_bytes == pytest.approx(136 * GB)
+
+    def test_non_square_cores_rejected(self):
+        with pytest.raises(ValueError):
+            run_bt(SIERRA, MPIIO, 8, "C")
+
+    def test_out_of_range_cores_rejected(self):
+        with pytest.raises(ValueError):
+            run_bt(SIERRA, MPIIO, 4, "D")
+
+    def test_plfs_wins_big_at_scale_class_c(self):
+        """Small cached writes: PLFS ≫ MPI-IO (paper: up to 10-20x)."""
+        plfs = run_bt(SIERRA, LDPLFS, 1024, "C")
+        mpiio = run_bt(SIERRA, MPIIO, 1024, "C")
+        assert plfs.write_bandwidth > 3 * mpiio.write_bandwidth
+
+    def test_mpiio_flat_class_c(self):
+        low = run_bt(SIERRA, MPIIO, 64, "C")
+        high = run_bt(SIERRA, MPIIO, 1024, "C")
+        assert high.write_bandwidth < 2 * low.write_bandwidth
+
+    def test_class_d_cache_recovery_at_4096(self):
+        """Paper: ~7 MB writes at 1,024 cores miss the cache; <2 MB writes
+        at 4,096 cores bring the caching effects back."""
+        at_1024 = run_bt(SIERRA, LDPLFS, 1024, "D")
+        at_4096 = run_bt(SIERRA, LDPLFS, 4096, "D")
+        assert at_1024.details["per_write"] > SIERRA.perf.cache_write_through
+        assert at_4096.details["per_write"] < SIERRA.perf.cache_write_through
+        assert at_4096.write_bandwidth > at_1024.write_bandwidth
+
+
+class TestFlashIOShapes:
+    """Fig. 5: the PLFS rise and MDS-driven collapse."""
+
+    @pytest.fixture(scope="class")
+    def curve(self):
+        nodes = [2, 8, 32, 256]
+        return {
+            n: run_flashio(SIERRA, LDPLFS, n) for n in nodes
+        }, {n: run_flashio(SIERRA, MPIIO, n) for n in nodes}
+
+    def test_plfs_rises_then_collapses(self, curve):
+        plfs, _ = curve
+        assert plfs[8].write_bandwidth > plfs[2].write_bandwidth
+        assert plfs[256].write_bandwidth < 0.5 * plfs[8].write_bandwidth
+
+    def test_plfs_ends_below_mpiio(self, curve):
+        plfs, mpiio = curve
+        assert plfs[256].write_bandwidth < mpiio[256].write_bandwidth
+
+    def test_plfs_peak_beats_mpiio(self, curve):
+        plfs, mpiio = curve
+        assert plfs[8].write_bandwidth > 2 * mpiio[8].write_bandwidth
+
+    def test_mpiio_stable_at_scale(self, curve):
+        _, mpiio = curve
+        assert mpiio[256].write_bandwidth == pytest.approx(
+            mpiio[32].write_bandwidth, rel=0.25
+        )
+
+    def test_mds_load_grows_with_ranks(self, curve):
+        plfs, mpiio = curve
+        assert plfs[256].mds_ops > plfs[8].mds_ops * 20
+        assert plfs[256].mds_ops > mpiio[256].mds_ops * 100
