@@ -14,6 +14,7 @@ Run:  python examples/evaluate_plfs.py
 
 from repro.analysis import Panel, render_ascii_chart, render_panel
 from repro.cluster import MINERVA, SIERRA
+from repro.insights import profile_from_run, render_report, run_rules
 from repro.mpiio import ALL_METHODS, LDPLFS, MPIIO
 from repro.sim.stats import MB
 from repro.workloads import run_flashio, run_mpiio_test
@@ -34,17 +35,20 @@ def sweep_minerva() -> Panel:
     return panel
 
 
-def sweep_sierra() -> Panel:
+def sweep_sierra() -> tuple[Panel, object]:
     panel = Panel(
         title="FLASH-IO on Sierra (weak scaled, 12 ppn)",
         xlabel="Cores",
         ylabel="Write bandwidth (MB/s)",
     )
+    last_ldplfs = None
     for nodes in (2, 8, 32, 128, 256):
         for method in (MPIIO, LDPLFS):
             result = run_flashio(SIERRA, method, nodes)
             panel.add(method.name, nodes * 12, result.write_bandwidth)
-    return panel
+            if method is LDPLFS:
+                last_ldplfs = result
+    return panel, last_ldplfs
 
 
 def main() -> None:
@@ -59,7 +63,7 @@ def main() -> None:
     )
     print()
 
-    sierra = sweep_sierra()
+    sierra, collapse_run = sweep_sierra()
     print(render_panel(sierra))
     print()
     print(render_ascii_chart(sierra, symbol_map={"MPI-IO": "m", "LDPLFS": "L"}))
@@ -71,6 +75,12 @@ def main() -> None:
         "MPI-IO.  The dedicated Lustre MDS is the bottleneck: check the "
         "metadata load before enabling PLFS at scale."
     )
+
+    # The insights advisor reaches the same verdict from the run's own
+    # counters — with the evidence spelled out.
+    print()
+    profile = profile_from_run(collapse_run, SIERRA, LDPLFS, workload="flashio")
+    print(render_report(profile, run_rules(profile)))
 
 
 if __name__ == "__main__":

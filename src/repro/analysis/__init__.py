@@ -9,6 +9,7 @@ from .compare import (
     summarise,
 )
 from .export import (
+    canonical_json,
     panel_from_dict,
     panel_from_json,
     panel_to_csv,
@@ -30,6 +31,7 @@ __all__ = [
     "check_collapse",
     "check_monotone_rise",
     "summarise",
+    "canonical_json",
     "panel_to_csv",
     "panel_to_dict",
     "panel_to_json",

@@ -9,6 +9,27 @@ import json
 from .results import Panel
 
 
+def _round_floats(obj, ndigits: int):
+    if isinstance(obj, float):
+        return round(obj, ndigits)
+    if isinstance(obj, dict):
+        return {k: _round_floats(v, ndigits) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_round_floats(v, ndigits) for v in obj]
+    return obj
+
+
+def canonical_json(obj, *, indent: int = 2, ndigits: int = 9) -> str:
+    """Deterministic JSON: sorted keys, floats rounded to *ndigits*.
+
+    Byte-identical across runs for identical inputs — the property the
+    insights reports and archived benchmark artefacts rely on.
+    """
+    return json.dumps(
+        _round_floats(obj, ndigits), indent=indent, sort_keys=True
+    )
+
+
 def panel_to_csv(panel: Panel) -> str:
     """One row per x value, one column per series; empty cell = no point."""
     buf = io.StringIO()

@@ -88,6 +88,9 @@ class MetadataService:
         self._longest_queue = 0
         self._create_depth = 0
         self._peak_create_depth = 0
+        #: cumulative service time spent on metadata operations, summed
+        #: over the servers (for utilisation / bottleneck attribution)
+        self.busy_seconds = 0.0
 
     @property
     def longest_observed_queue(self) -> int:
@@ -129,6 +132,7 @@ class MetadataService:
             ) ** self.perf.mds_contention_exp
         try:
             service = self.perf.mds_base_service * weight * factor
+            self.busy_seconds += service
             yield from server.use(service)
         finally:
             if is_create:
@@ -136,6 +140,16 @@ class MetadataService:
 
     def ops_issued(self) -> int:
         return self.ops.total()
+
+    def op_counts(self) -> dict[str, int]:
+        """Per-kind operation counts (copy; safe to serialise)."""
+        return dict(self.ops.counts)
+
+    def utilisation(self, horizon: float) -> float:
+        """Mean busy fraction of the metadata servers over *horizon*."""
+        if horizon <= 0:
+            return 0.0
+        return self.busy_seconds / (horizon * len(self._servers))
 
 
 class WriteBackCache:
@@ -192,6 +206,11 @@ class Platform:
         self._clients: dict[int, BandwidthPipe] = {}
         self._caches: dict[tuple[int, int], WriteBackCache] = {}
         self._stream_rr = 0
+        #: shared files opened on this platform (for lock-wait reporting)
+        self.shared_files: list = []
+
+    def register_shared_file(self, f) -> None:
+        self.shared_files.append(f)
 
     # ------------------------------------------------------------------ #
     # per-node resources (lazy: a run touches only the nodes it uses)
@@ -247,6 +266,10 @@ class Platform:
     def total_dirty(self) -> float:
         return sum(c.dirty for c in self._caches.values())
 
+    def shared_lock_wait_seconds(self) -> float:
+        """Total time writers spent queued on shared-file lock lanes."""
+        return sum(f.lock_wait_seconds() for f in self.shared_files)
+
     def report(self, horizon: float | None = None) -> dict:
         """Bottleneck snapshot: utilisations and load counters.
 
@@ -263,8 +286,14 @@ class Platform:
             ),
             "bytes_serviced": self.total_bytes_serviced(),
             "open_streams": sum(s.open_streams for s in self.servers),
+            "io_servers": len(self.servers),
             "mds_ops": self.mds.ops_issued(),
+            "mds_op_counts": self.mds.op_counts(),
             "mds_peak_create_depth": self.mds.peak_create_depth,
+            "mds_busy_seconds": self.mds.busy_seconds,
+            "mds_utilisation": self.mds.utilisation(horizon),
+            "mds_count": self.perf.mds_count,
+            "shared_lock_wait_seconds": self.shared_lock_wait_seconds(),
             "nic_utilisation_mean": (
                 sum(p.utilisation(horizon) for p in self._nics.values())
                 / len(self._nics)

@@ -5,7 +5,9 @@ environmental variable ... other libraries can also make use of the
 dynamic loader (by appending multiple libraries into the environmental
 variable), allowing tracing tools to be used alongside LDPLFS."  This is
 that tracing tool — a Darshan-style characterisation layer that records
-per-file operation counts, byte totals, sizes and timings.
+per-file operation counts, byte totals, access-size histograms, seek and
+close counts, consecutive-offset sequentiality and timings: the inputs
+the :mod:`repro.insights` rule engine needs to diagnose a run.
 
 Because it patches the same symbols (``os.*``, ``builtins.open``) by
 saving whatever is currently installed, it composes in either order:
@@ -22,22 +24,27 @@ Use :class:`Tracer` directly or the :func:`traced` context manager::
             run_application()
     print(tracer.report())
 
-Caveat (true of C tracing preloads as well, which must interpose the
-stdio layer separately from the syscall layer): byte counts cover the
-``os``-level calls; ``builtins.open`` file objects contribute open
-counts, but their buffered reads/writes happen below the Python symbol
-layer and are only visible when the underlying descriptor traffic passes
-through interposed functions (as it does for PLFS-backed files whose raw
-I/O the LDPLFS layer implements with ``os``-level semantics).
+Buffered I/O: ``builtins.open`` file objects perform their reads and
+writes below the Python symbol layer (the C ``io`` module calls the
+syscalls directly), so a symbol interposer cannot see them at the ``os``
+level.  The tracer therefore wraps every :class:`io.IOBase` object that
+``builtins.open`` returns in a delegating proxy that accounts at the
+file-object layer (logical bytes; text-mode lengths are character
+counts).  Files opened this way are flagged ``buffered`` in the report
+so a reader knows which accounting layer produced their numbers —
+previously such files reported 0 bytes as if no I/O had happened.
 """
 
 from __future__ import annotations
 
 import builtins
+import io
 import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.sim.stats import SizeHistogram
 
 
 @dataclass
@@ -46,28 +53,56 @@ class FileStats:
 
     path: str
     opens: int = 0
+    closes: int = 0
     reads: int = 0
     writes: int = 0
+    seeks: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     read_time: float = 0.0
     write_time: float = 0.0
     max_read: int = 0
     max_write: int = 0
+    #: accesses whose offset continued exactly where the previous access
+    #: on the same descriptor ended (consecutive-offset sequentiality)
+    sequential_accesses: int = 0
+    read_sizes: SizeHistogram = field(default_factory=SizeHistogram)
+    write_sizes: SizeHistogram = field(default_factory=SizeHistogram)
+    #: last ``builtins.open`` mode seen for this path ("" = os-level only)
+    mode: str = ""
+    #: True when I/O was accounted at the buffered file-object layer
+    buffered: bool = False
 
-    def observe_read(self, nbytes: int, elapsed: float) -> None:
+    def observe_read(self, nbytes: int, elapsed: float, *, sequential: bool = True) -> None:
         self.reads += 1
         self.bytes_read += nbytes
         self.read_time += elapsed
+        self.read_sizes.add(nbytes)
+        if sequential:
+            self.sequential_accesses += 1
         if nbytes > self.max_read:
             self.max_read = nbytes
 
-    def observe_write(self, nbytes: int, elapsed: float) -> None:
+    def observe_write(self, nbytes: int, elapsed: float, *, sequential: bool = True) -> None:
         self.writes += 1
         self.bytes_written += nbytes
         self.write_time += elapsed
+        self.write_sizes.add(nbytes)
+        if sequential:
+            self.sequential_accesses += 1
         if nbytes > self.max_write:
             self.max_write = nbytes
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def sequentiality(self) -> float:
+        """Fraction of accesses at consecutive offsets (1.0 = pure log)."""
+        if self.accesses == 0:
+            return 1.0
+        return self.sequential_accesses / self.accesses
 
 
 @dataclass
@@ -89,13 +124,17 @@ class TraceReport:
     def render(self) -> str:
         lines = [
             f"{'file':40s} {'opens':>5s} {'reads':>6s} {'writes':>6s} "
-            f"{'B read':>10s} {'B written':>10s}"
+            f"{'seeks':>5s} {'B read':>10s} {'B written':>10s} {'seq':>5s}"
         ]
         for path in sorted(self.files):
             f = self.files[path]
+            note = ""
+            if f.buffered:
+                note = " [opacity: buffered]" if f.accesses == 0 else " [buffered]"
             lines.append(
                 f"{path[-40:]:40s} {f.opens:5d} {f.reads:6d} {f.writes:6d} "
-                f"{f.bytes_read:10d} {f.bytes_written:10d}"
+                f"{f.seeks:5d} {f.bytes_read:10d} {f.bytes_written:10d} "
+                f"{f.sequentiality:5.0%}{note}"
             )
         lines.append(
             f"total: {self.total_ops} ops, {self.total_bytes_read} B read, "
@@ -104,15 +143,135 @@ class TraceReport:
         return "\n".join(lines)
 
 
+class _TracedFile:
+    """Delegating proxy around a ``builtins.open`` file object.
+
+    Accounts reads/writes/seeks/closes at the file-object layer, where
+    buffered I/O is actually visible.  Everything else is forwarded to
+    the wrapped object untouched.
+    """
+
+    def __init__(self, fh, stats: FileStats, clock):
+        self.__dict__["_fh"] = fh
+        self.__dict__["_stats"] = stats
+        self.__dict__["_clock"] = clock
+        # The next access is sequential until a repositioning seek.
+        self.__dict__["_seq"] = True
+
+    # -- accounting helpers --------------------------------------------- #
+
+    def _observe_read(self, n: int, elapsed: float) -> None:
+        self._stats.observe_read(n, elapsed, sequential=self._seq)
+        self.__dict__["_seq"] = True
+
+    def _observe_write(self, n: int, elapsed: float) -> None:
+        self._stats.observe_write(n, elapsed, sequential=self._seq)
+        self.__dict__["_seq"] = True
+
+    # -- traced methods -------------------------------------------------- #
+
+    def read(self, *args, **kwargs):
+        t0 = self._clock()
+        data = self._fh.read(*args, **kwargs)
+        self._observe_read(len(data) if data else 0, self._clock() - t0)
+        return data
+
+    def read1(self, *args, **kwargs):
+        t0 = self._clock()
+        data = self._fh.read1(*args, **kwargs)
+        self._observe_read(len(data) if data else 0, self._clock() - t0)
+        return data
+
+    def readinto(self, b):
+        t0 = self._clock()
+        n = self._fh.readinto(b)
+        self._observe_read(n or 0, self._clock() - t0)
+        return n
+
+    def readline(self, *args, **kwargs):
+        t0 = self._clock()
+        data = self._fh.readline(*args, **kwargs)
+        self._observe_read(len(data) if data else 0, self._clock() - t0)
+        return data
+
+    def readlines(self, *args, **kwargs):
+        t0 = self._clock()
+        lines = self._fh.readlines(*args, **kwargs)
+        self._observe_read(sum(len(x) for x in lines), self._clock() - t0)
+        return lines
+
+    def write(self, data):
+        t0 = self._clock()
+        n = self._fh.write(data)
+        self._observe_write(n if n is not None else len(data), self._clock() - t0)
+        return n
+
+    def writelines(self, lines):
+        lines = list(lines)
+        t0 = self._clock()
+        result = self._fh.writelines(lines)
+        self._observe_write(sum(len(x) for x in lines), self._clock() - t0)
+        return result
+
+    def seek(self, *args, **kwargs):
+        try:
+            before = self._fh.tell()
+        except (OSError, ValueError):
+            before = None
+        result = self._fh.seek(*args, **kwargs)
+        if before is not None and result != before:
+            self._stats.seeks += 1
+            self.__dict__["_seq"] = False
+        return result
+
+    def close(self):
+        if not self._fh.closed:
+            self._stats.closes += 1
+        return self._fh.close()
+
+    # -- protocol forwarding --------------------------------------------- #
+
+    def __enter__(self):
+        self._fh.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        if not self._fh.closed:
+            self._stats.closes += 1
+        return self._fh.__exit__(*exc)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        t0 = self._clock()
+        line = next(self._fh)
+        self._observe_read(len(line), self._clock() - t0)
+        return line
+
+    def __getattr__(self, name):
+        return getattr(self.__dict__["_fh"], name)
+
+    def __setattr__(self, name, value):
+        setattr(self.__dict__["_fh"], name, value)
+
+    def __repr__(self):
+        return f"<traced {self._fh!r}>"
+
+
 class Tracer:
     """Characterisation interposer; stacks over whatever is installed."""
 
-    _PATCHES = ("open", "close", "read", "write", "pread", "pwrite")
+    _PATCHES = ("open", "close", "read", "write", "pread", "pwrite", "lseek")
 
     def __init__(self, *, clock=time.perf_counter):
         self._clock = clock
         self._saved: dict[str, object] = {}
         self._fd_paths: dict[int, str] = {}
+        #: current file-cursor position per descriptor (mirrors lseek)
+        self._fd_pos: dict[int, int] = {}
+        #: offset at which the next access would be sequential
+        self._fd_expect: dict[int, int] = {}
         self._stats: dict[str, FileStats] = {}
         self._installed = False
 
@@ -148,6 +307,7 @@ class Tracer:
         os.write = self._write
         os.pread = self._pread
         os.pwrite = self._pwrite
+        os.lseek = self._lseek
         builtins.open = self._builtin_open
         self._installed = True
         return self
@@ -180,19 +340,37 @@ class Tracer:
         except TypeError:
             name = repr(path)
         self._fd_paths[fd] = name
+        self._fd_pos[fd] = 0
+        self._fd_expect[fd] = 0
         self._stats_for(name).opens += 1
         return fd
 
     def _close(self, fd):
-        self._fd_paths.pop(fd, None)
+        path = self._fd_paths.pop(fd, None)
+        if path is not None:
+            self._stats_for(path).closes += 1
+        self._fd_pos.pop(fd, None)
+        self._fd_expect.pop(fd, None)
         return self._saved["close"](fd)
+
+    def _advance(self, fd, start, nbytes, *, move_cursor: bool) -> bool:
+        """Record the access span; returns consecutive-offset flag."""
+        sequential = start == self._fd_expect.get(fd, start)
+        self._fd_expect[fd] = start + nbytes
+        if move_cursor:
+            self._fd_pos[fd] = start + nbytes
+        return sequential
 
     def _read(self, fd, n):
         t0 = self._clock()
         data = self._saved["read"](fd, n)
         path = self._fd_paths.get(fd)
         if path is not None:
-            self._stats_for(path).observe_read(len(data), self._clock() - t0)
+            start = self._fd_pos.get(fd, 0)
+            seq = self._advance(fd, start, len(data), move_cursor=True)
+            self._stats_for(path).observe_read(
+                len(data), self._clock() - t0, sequential=seq
+            )
         return data
 
     def _write(self, fd, data):
@@ -200,7 +378,11 @@ class Tracer:
         n = self._saved["write"](fd, data)
         path = self._fd_paths.get(fd)
         if path is not None:
-            self._stats_for(path).observe_write(n, self._clock() - t0)
+            start = self._fd_pos.get(fd, 0)
+            seq = self._advance(fd, start, n, move_cursor=True)
+            self._stats_for(path).observe_write(
+                n, self._clock() - t0, sequential=seq
+            )
         return n
 
     def _pread(self, fd, n, offset):
@@ -208,7 +390,10 @@ class Tracer:
         data = self._saved["pread"](fd, n, offset)
         path = self._fd_paths.get(fd)
         if path is not None:
-            self._stats_for(path).observe_read(len(data), self._clock() - t0)
+            seq = self._advance(fd, offset, len(data), move_cursor=False)
+            self._stats_for(path).observe_read(
+                len(data), self._clock() - t0, sequential=seq
+            )
         return data
 
     def _pwrite(self, fd, data, offset):
@@ -216,8 +401,21 @@ class Tracer:
         n = self._saved["pwrite"](fd, data, offset)
         path = self._fd_paths.get(fd)
         if path is not None:
-            self._stats_for(path).observe_write(n, self._clock() - t0)
+            seq = self._advance(fd, offset, n, move_cursor=False)
+            self._stats_for(path).observe_write(
+                n, self._clock() - t0, sequential=seq
+            )
         return n
+
+    def _lseek(self, fd, pos, how):
+        result = self._saved["lseek"](fd, pos, how)
+        path = self._fd_paths.get(fd)
+        if path is not None:
+            if result != self._fd_pos.get(fd, 0):
+                # Repositioning (not a tell-style SEEK_CUR 0) counts.
+                self._stats_for(path).seeks += 1
+            self._fd_pos[fd] = result
+        return result
 
     def _builtin_open(self, file, mode="r", *args, **kwargs):
         fh = self._saved["builtins.open"](file, mode, *args, **kwargs)
@@ -225,11 +423,18 @@ class Tracer:
             name = os.fspath(file)
             if isinstance(name, bytes):
                 name = os.fsdecode(name)
-            self._stats_for(name).opens += 1
+            stats = self._stats_for(name)
+            stats.opens += 1
+            stats.mode = mode
             try:
                 self._fd_paths[fh.fileno()] = name
             except (OSError, ValueError, AttributeError):
                 pass
+            if isinstance(fh, io.IOBase):
+                # Buffered file-object I/O is invisible at the os level;
+                # account it at the file-object layer instead.
+                stats.buffered = True
+                return _TracedFile(fh, stats, self._clock)
         return fh
 
 

@@ -48,6 +48,11 @@ class SharedFile:
             self.lanes.append((Resource(platform.env, 1), server))
         self.size = 0
         self._closed = False
+        platform.register_shared_file(self)
+
+    def lock_wait_seconds(self) -> float:
+        """Total time writers queued behind this file's lock lanes."""
+        return sum(lane.total_wait_time for lane, _ in self.lanes)
 
     def lane_for(self, offset: float) -> tuple[Resource, Server]:
         return self.lanes[int(offset // STRIPE_UNIT) % len(self.lanes)]

@@ -1,0 +1,103 @@
+"""``repro-insights`` — characterise a run and report detected issues.
+
+Simulates one of the paper's workloads at the requested scale, builds an
+:class:`~repro.insights.metrics.IORunProfile` from the run's observed
+counters, runs the rule engine and prints the report::
+
+    repro-insights --workload flashio --machine sierra --method LDPLFS \
+        --nodes 256
+    repro-insights --workload bt --machine sierra --method MPI-IO \
+        --cores 1024 --bt-class C --json
+    repro-insights --workload mpiio-test --machine minerva \
+        --method MPI-IO --nodes 16 --ppn 1 --advise
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.machine import MACHINES
+from repro.mpiio.methods import BY_NAME
+from repro.workloads import run_bt, run_flashio, run_mpiio_test
+
+from .metrics import profile_from_run
+from .reporter import render_report, report_to_json
+from .rules import run_rules
+
+WORKLOADS = ("flashio", "bt", "mpiio-test")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-insights",
+        description=(
+            "Drishti-style I/O characterisation and advisory for the "
+            "simulated LDPLFS platforms"
+        ),
+    )
+    parser.add_argument("--workload", choices=WORKLOADS, default="flashio")
+    parser.add_argument(
+        "--machine", choices=sorted(MACHINES), default="sierra"
+    )
+    parser.add_argument(
+        "--method", choices=sorted(BY_NAME), default="LDPLFS"
+    )
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--ppn", type=int, default=12)
+    parser.add_argument(
+        "--cores", type=int, default=None, help="BT total cores (square)"
+    )
+    parser.add_argument(
+        "--bt-class", choices=("C", "D"), default="C", dest="bt_class"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON report"
+    )
+    parser.add_argument(
+        "--advise",
+        action="store_true",
+        help="append the model-based method recommendation",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    machine = MACHINES[args.machine]
+    method = BY_NAME[args.method]
+
+    try:
+        if args.workload == "flashio":
+            result = run_flashio(machine, method, args.nodes, args.ppn)
+            workload = "flashio"
+        elif args.workload == "bt":
+            cores = args.cores or 256
+            result = run_bt(machine, method, cores, args.bt_class)
+            workload = f"bt.{args.bt_class}"
+        else:
+            result = run_mpiio_test(machine, method, args.nodes, args.ppn)
+            workload = "mpiio-test"
+    except ValueError as exc:
+        print(f"repro-insights: error: {exc}", file=sys.stderr)
+        return 2
+
+    profile = profile_from_run(result, machine, method, workload=workload)
+    findings = run_rules(profile)
+
+    if args.json:
+        print(report_to_json(profile, findings))
+    else:
+        print(render_report(profile, findings))
+
+    if args.advise:
+        from repro.model.autotune import advise_from_profile
+
+        rec = advise_from_profile(machine, profile)
+        print()
+        print(f"model advice: use {rec.method.name} — {rec.explanation}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

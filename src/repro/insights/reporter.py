@@ -1,0 +1,125 @@
+"""Deterministic rendering of an insights report (text and JSON).
+
+Text output is a Drishti-style console report: a run characterisation
+header, then the findings graded most severe first.  JSON output is
+canonical (sorted keys, rounded floats) so two runs of the same seeded
+simulation produce byte-identical reports — the property the archived
+benchmark artefacts assert.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.export import canonical_json
+from repro.sim.stats import MB
+
+from .metrics import IORunProfile
+from .rules import Finding, Severity
+
+
+def _human_bytes(n: float) -> str:
+    if n >= 1024**3:
+        return f"{n / 1024 ** 3:.2f} GiB"
+    if n >= 1024**2:
+        return f"{n / 1024 ** 2:.2f} MiB"
+    if n >= 1024:
+        return f"{n / 1024:.1f} KiB"
+    return f"{n:.0f} B"
+
+
+def render_profile(profile: IORunProfile) -> str:
+    """The characterisation header of a report."""
+    p = profile
+    label = " ".join(
+        x for x in (p.workload, p.machine, p.method) if x
+    ) or "(unlabelled run)"
+    lines = [
+        f"I/O insights — {label} [{p.source}]",
+        (
+            f"  {p.ranks} ranks on {p.nodes} node(s) x {p.ppn} ppn; "
+            f"{p.writers} writer(s), {p.openers} opener(s)"
+        ),
+        (
+            f"  wrote {_human_bytes(p.total_bytes_written)} in "
+            f"{p.write_calls} calls"
+            + (
+                f", read {_human_bytes(p.total_bytes_read)} in "
+                f"{p.read_calls} calls"
+                if p.read_calls
+                else ""
+            )
+        ),
+        (
+            f"  typical write {_human_bytes(p.typical_write_size)}; "
+            f"small-write fraction {p.small_write_fraction:.0%} "
+            f"(<= {p.small_write_threshold / MB:.0f} MB); "
+            f"sequentiality {p.sequentiality:.0%}"
+        ),
+        (
+            f"  metadata: {p.metadata_ops} ops "
+            f"({p.metadata_op_rate:.0f}/GiB), "
+            f"{p.dropping_creates} dropping creates, MDS x{p.mds_count} "
+            f"{p.mds_utilisation:.0%} busy "
+            f"(peak create depth {p.mds_peak_create_depth})"
+        ),
+    ]
+    if p.elapsed_seconds > 0:
+        lines.append(
+            f"  elapsed {p.elapsed_seconds:.2f} s "
+            f"-> {p.write_bandwidth_mbps:.0f} MB/s write"
+        )
+    if p.shared_file:
+        lines.append(
+            f"  shared file: lock-wait share {p.lock_wait_share:.0%}"
+        )
+    if p.write_size_histogram:
+        hist = ", ".join(
+            f"{label}: {count}"
+            for label, count in p.write_size_histogram.items()
+        )
+        lines.append(f"  write sizes: {hist}")
+    return "\n".join(lines)
+
+
+def render_findings(findings: list[Finding]) -> str:
+    if not findings:
+        return "no issues detected — the observed pattern looks healthy"
+    counts = {s: 0 for s in Severity}
+    for f in findings:
+        counts[f.severity] += 1
+    summary = ", ".join(
+        f"{counts[s]} {s.name}"
+        for s in sorted(Severity, reverse=True)
+        if counts[s]
+    )
+    blocks = [f"{len(findings)} finding(s): {summary}", ""]
+    blocks.extend(f.render() for f in findings)
+    return "\n".join(blocks)
+
+
+def render_report(profile: IORunProfile, findings: list[Finding]) -> str:
+    bar = "-" * 72
+    return "\n".join(
+        [render_profile(profile), bar, render_findings(findings)]
+    )
+
+
+def report_to_dict(profile: IORunProfile, findings: list[Finding]) -> dict:
+    return {
+        "profile": profile.as_dict(),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity.name,
+                "title": f.title,
+                "detail": f.detail,
+                "recommendation": f.recommendation,
+                "evidence": f.evidence,
+            }
+            for f in findings
+        ],
+    }
+
+
+def report_to_json(profile: IORunProfile, findings: list[Finding]) -> str:
+    """Canonical JSON report (byte-identical for identical runs)."""
+    return canonical_json(report_to_dict(profile, findings))

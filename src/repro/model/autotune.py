@@ -11,9 +11,11 @@ Fig. 5 collapse) so an operator can fall back to plain MPI-IO.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.machine import MachineSpec
+from repro.insights.metrics import IORunProfile
+from repro.insights.rules import Finding, run_rules
 from repro.mpiio.methods import ALL_METHODS, AccessMethod
 
 from .perfmodel import Prediction, WorkloadPattern, predict_write
@@ -27,6 +29,9 @@ class Recommendation:
     predictions: dict[str, Prediction]
     plfs_helps: bool
     explanation: str
+    #: insight findings from observed run data, when a profile was given —
+    #: the detector evidence the explanation cites
+    findings: list[Finding] = field(default_factory=list)
 
     @property
     def speedup_vs_mpiio(self) -> float:
@@ -51,8 +56,17 @@ def choose_method(
     machine: MachineSpec,
     pattern: WorkloadPattern,
     methods: list[AccessMethod] | None = None,
+    *,
+    profile: IORunProfile | None = None,
 ) -> Recommendation:
-    """Recommend the fastest access route for the pattern."""
+    """Recommend the fastest access route for the pattern.
+
+    Pass an :class:`~repro.insights.metrics.IORunProfile` built from an
+    observed run and the recommendation will also run the insights rule
+    engine on it, citing the detector evidence in its explanation — the
+    model says *what* to pick, the detectors say *why* the observed
+    behaviour supports it.
+    """
     predictions = predict_all(machine, pattern, methods)
     best_name = max(predictions, key=lambda name: predictions[name].bandwidth_mbps)
     best = next(m for m in (methods or ALL_METHODS) if m.name == best_name)
@@ -86,12 +100,51 @@ def choose_method(
             )
         explanation += "."
 
+    findings: list[Finding] = []
+    if profile is not None:
+        findings = run_rules(profile)
+        if findings:
+            top = findings[0]
+            cited = ", ".join(
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(top.evidence.items())
+            )
+            explanation += (
+                f"  Observed evidence [{top.severity.name}] {top.rule}: "
+                f"{top.title} ({cited})."
+            )
+
     return Recommendation(
         method=best,
         predictions=predictions,
         plfs_helps=plfs_helps,
         explanation=explanation,
+        findings=findings,
     )
+
+
+def advise_from_profile(
+    machine: MachineSpec,
+    profile: IORunProfile,
+    methods: list[AccessMethod] | None = None,
+) -> Recommendation:
+    """Model recommendation driven by an *observed* run profile.
+
+    Reconstructs the abstract workload pattern from the profile's
+    characterisation (writers, openers, volume, write size, collective
+    or not) and answers the paper's §V.A question — "does PLFS help
+    here?" — with both the analytic predictions and the rule engine's
+    graded evidence attached.
+    """
+    pattern = WorkloadPattern(
+        nodes=max(profile.nodes, 1),
+        writers=max(profile.writers, 1),
+        openers=max(profile.openers, profile.writers, 1),
+        total_bytes=max(profile.total_bytes_written, 1.0),
+        write_size=max(profile.typical_write_size, 1.0),
+        collective=profile.collective,
+    )
+    return choose_method(machine, pattern, methods, profile=profile)
 
 
 def mds_safe_writer_limit(

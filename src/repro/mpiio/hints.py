@@ -50,3 +50,16 @@ class MPIHints:
 
 
 DEFAULT_HINTS = MPIHints()
+
+
+def suggest_collective_hints(nodes: int, per_node_bytes: float) -> MPIHints:
+    """A collective-buffering hint set for an uncollective strided writer.
+
+    Used by the insights advisor (``repro.insights.rules``) when it spots
+    independent strided writes: one aggregator per node (the ROMIO
+    default the paper benchmarks with, footnote 3) and a buffer large
+    enough to take a node's share of each round in one backend write,
+    capped at 4x the ROMIO default so the hint stays realistic.
+    """
+    buffer_size = min(max(per_node_bytes, 16 * MB), 64 * MB)
+    return MPIHints(cb_nodes=max(1, nodes), cb_buffer_size=buffer_size)

@@ -25,10 +25,12 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[tuple[Event, float]] = deque()
         #: total time-weighted occupancy (for utilisation reports)
         self._busy_time = 0.0
         self._last_change = 0.0
+        #: cumulative time requests spent queued before being granted
+        self.total_wait_time = 0.0
 
     # -- accounting ----------------------------------------------------- #
 
@@ -59,7 +61,7 @@ class Resource:
             self.in_use += 1
             ev.succeed()
         else:
-            self._waiters.append(ev)
+            self._waiters.append((ev, self.env.now))
         return ev
 
     def release(self) -> None:
@@ -68,7 +70,9 @@ class Resource:
         if self._waiters:
             # Hand the slot straight to the next waiter (occupancy
             # unchanged).
-            self._waiters.popleft().succeed()
+            ev, enqueued = self._waiters.popleft()
+            self.total_wait_time += self.env.now - enqueued
+            ev.succeed()
         else:
             self._account()
             self.in_use -= 1

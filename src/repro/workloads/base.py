@@ -25,6 +25,9 @@ class RunResult:
     mds_ops: int = 0
     mds_longest_queue: int = 0
     details: dict = field(default_factory=dict)
+    #: snapshot of :meth:`repro.cluster.platform.Platform.report` at the
+    #: end of the run — the raw material for ``repro.insights``
+    platform_report: dict = field(default_factory=dict)
 
     @property
     def cores(self) -> int:
@@ -48,6 +51,22 @@ def make_platform(machine: MachineSpec) -> tuple[Environment, Platform]:
     """Fresh simulation environment + platform for one run."""
     env = Environment(strict=True)
     return env, Platform(env, machine)
+
+
+def finish_run(result: RunResult, platform: Platform, **pattern) -> RunResult:
+    """Capture end-of-run platform state on the result.
+
+    *pattern* keys (``write_size``, ``collective``, ``strided``,
+    ``write_calls_per_rank`` …) describe the I/O pattern the workload
+    issued; they are merged into ``result.details`` so downstream
+    characterisation (``repro.insights``) does not have to re-derive
+    them per workload.
+    """
+    result.mds_ops = platform.mds.ops_issued()
+    result.mds_longest_queue = platform.mds.longest_observed_queue
+    result.platform_report = platform.report()
+    result.details.update(pattern)
+    return result
 
 
 def validate_run(machine: MachineSpec, method: AccessMethod, nodes: int, ppn: int) -> None:

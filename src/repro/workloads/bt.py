@@ -21,7 +21,7 @@ from repro.mpiio.methods import AccessMethod
 from repro.mpiio.simmpi import Communicator
 from repro.sim.stats import GB
 
-from .base import RunResult, make_platform, validate_run
+from .base import RunResult, finish_run, make_platform, validate_run
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,11 @@ def run_bt(
         result.write_seconds = env.now - t0
 
     env.run(until=env.process(driver()))
-    result.mds_ops = platform.mds.ops_issued()
-    result.mds_longest_queue = platform.mds.longest_observed_queue
-    return result
+    return finish_run(
+        result,
+        platform,
+        write_size=per_rank_per_step,
+        write_calls_per_rank=spec.write_steps,
+        collective=True,
+        strided=False,
+    )

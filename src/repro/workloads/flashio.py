@@ -17,7 +17,7 @@ from repro.mpiio.methods import AccessMethod
 from repro.mpiio.simmpi import Communicator
 from repro.sim.stats import MB
 
-from .base import RunResult, make_platform, validate_run
+from .base import RunResult, finish_run, make_platform, validate_run
 
 #: bytes per process per checkpoint (paper: "approximately 205 MB")
 PER_PROC_BYTES = 205 * MB
@@ -78,9 +78,16 @@ def run_flashio(
         result.write_seconds = env.now - t0
 
     env.run(until=env.process(driver()))
-    result.mds_ops = platform.mds.ops_issued()
-    result.mds_longest_queue = platform.mds.longest_observed_queue
-    return result
+    return finish_run(
+        result,
+        platform,
+        write_size=per_var,
+        write_calls_per_rank=NUM_VARIABLES,
+        collective=False,
+        strided=True,
+        header_writes=HEADER_WRITES,
+        header_bytes=HEADER_BYTES,
+    )
 
 
 #: the node counts of the paper's Fig. 5 sweep

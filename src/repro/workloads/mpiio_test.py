@@ -14,7 +14,7 @@ from repro.mpiio.methods import AccessMethod
 from repro.mpiio.simmpi import Communicator
 from repro.sim.stats import GB, MB
 
-from .base import RunResult, make_platform, validate_run
+from .base import RunResult, finish_run, make_platform, validate_run
 
 DEFAULT_BLOCK = 8 * MB
 DEFAULT_PER_PROC = 1 * GB
@@ -65,6 +65,12 @@ def run_mpiio_test(
             result.read_seconds = env.now - t0
 
     env.run(until=env.process(driver()))
-    result.mds_ops = platform.mds.ops_issued()
-    result.mds_longest_queue = platform.mds.longest_observed_queue
-    return result
+    return finish_run(
+        result,
+        platform,
+        write_size=block,
+        write_calls_per_rank=steps,
+        collective=True,
+        strided=False,
+        read_back=read_back,
+    )

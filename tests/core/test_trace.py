@@ -88,6 +88,100 @@ class TestTracerAlone:
         assert "total:" in text
 
 
+class TestTracerMetrics:
+    """The characterisation metrics feeding ``repro.insights``."""
+
+    def test_seeks_and_closes_counted(self, tmp_path):
+        path = str(tmp_path / "m")
+        with traced() as tracer:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            os.write(fd, b"0123456789")
+            os.lseek(fd, 0, os.SEEK_CUR)  # a tell — not a reposition
+            os.lseek(fd, 0, os.SEEK_SET)  # a real reposition
+            os.read(fd, 10)
+            os.close(fd)
+        stats = tracer.report().files[path]
+        assert stats.seeks == 1
+        assert stats.closes == 1
+
+    def test_access_size_histograms(self, tmp_path):
+        path = str(tmp_path / "h")
+        with traced() as tracer:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            os.write(fd, b"x" * 10)
+            os.write(fd, b"y" * 2000)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.read(fd, 500)
+            os.close(fd)
+        stats = tracer.report().files[path]
+        assert stats.write_sizes.as_dict() == {"0-100": 1, "1K-10K": 1}
+        assert stats.read_sizes.as_dict() == {"100-1K": 1}
+
+    def test_consecutive_offset_sequentiality(self, tmp_path):
+        path = str(tmp_path / "s")
+        with traced() as tracer:
+            fd = os.open(path, os.O_CREAT | os.O_WRONLY)
+            os.write(fd, b"a" * 10)        # offset 0: sequential
+            os.write(fd, b"b" * 10)        # offset 10: sequential
+            os.pwrite(fd, b"c" * 10, 100)  # jump: not sequential
+            os.pwrite(fd, b"d" * 10, 110)  # continues the jump: sequential
+            os.close(fd)
+        stats = tracer.report().files[path]
+        assert stats.sequential_accesses == 3
+        assert stats.sequentiality == pytest.approx(0.75)
+
+    def test_lseek_resets_sequential_expectation(self, tmp_path):
+        path = str(tmp_path / "k")
+        with traced() as tracer:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            os.write(fd, b"x" * 20)
+            os.lseek(fd, 5, os.SEEK_SET)
+            os.read(fd, 5)  # reads at 5, but the log expected offset 20
+            os.close(fd)
+        stats = tracer.report().files[path]
+        assert stats.sequentiality == pytest.approx(0.5)
+
+    def test_buffered_open_is_accounted_via_proxy(self, tmp_path):
+        """The fixed bypass: builtins.open I/O used to report 0 bytes."""
+        path = str(tmp_path / "buf.txt")
+        with traced() as tracer:
+            with open(path, "w") as fh:
+                fh.write("hello")
+                fh.write(" world")
+            with open(path) as fh:
+                assert fh.read() == "hello world"
+        stats = tracer.report().files[path]
+        assert stats.buffered
+        assert stats.mode == "r"  # last open mode seen
+        assert stats.opens == 2 and stats.closes == 2
+        assert stats.writes == 2 and stats.bytes_written == 11
+        assert stats.reads >= 1 and stats.bytes_read == 11
+        assert "[buffered]" in tracer.report().render()
+
+    def test_buffered_binary_seek_and_iteration(self, tmp_path):
+        path = str(tmp_path / "buf.bin")
+        with traced() as tracer:
+            with open(path, "wb") as fh:
+                fh.write(b"line1\nline2\n")
+            with open(path, "rb") as fh:
+                fh.seek(6)
+                fh.read(6)
+                fh.seek(0)
+                assert [len(l) for l in fh] == [6, 6]
+        stats = tracer.report().files[path]
+        assert stats.seeks == 2  # seek(0) after read-to-6... both reposition
+        assert stats.bytes_read == 6 + 12  # explicit read + iteration
+
+    def test_opaque_buffered_file_flagged(self, tmp_path):
+        path = str(tmp_path / "opaque")
+        with traced() as tracer:
+            with open(path, "w"):
+                pass  # opened, never touched
+        stats = tracer.report().files[path]
+        assert stats.buffered and stats.accesses == 0
+        assert "[opacity: buffered]" in tracer.report().render()
+
+
 class TestStackingWithLdplfs:
     def test_tracer_over_ldplfs_sees_logical_io(self, mnt, backend):
         """Tracer installed after LDPLFS: observes the application's view
@@ -132,6 +226,71 @@ class TestStackingWithLdplfs:
         dropping_paths = [p for p in report.files if "dropping.data" in p]
         assert len(dropping_paths) == 1
         assert report.files[dropping_paths[0]].bytes_written == 100
+
+    def test_tracer_over_ldplfs_buffered_open(self, mnt, backend):
+        """builtins.open through both layers: the proxy accounts logical
+        bytes even though the PLFS shim serves the actual I/O."""
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        try:
+            with traced() as tracer:
+                with open(f"{mnt}/buffered.txt", "w") as fh:
+                    fh.write("via plfs")
+                with open(f"{mnt}/buffered.txt") as fh:
+                    assert fh.read() == "via plfs"
+        finally:
+            ip.uninstall()
+        stats = tracer.report().files[f"{mnt}/buffered.txt"]
+        assert stats.buffered
+        assert stats.bytes_written == 8
+        assert stats.bytes_read == 8
+        assert stats.closes == 2
+        from repro.plfs import is_container
+
+        assert is_container(os.path.join(backend, "buffered.txt"))
+
+    def test_logical_vs_physical_histograms(self, mnt, backend):
+        """Over the shim the tracer sees the app's access sizes; under it,
+        the dropping log's — same bytes, different characterisation."""
+        # Over: logical sizes.
+        ip = Interposer([(mnt, backend)])
+        ip.install()
+        try:
+            with traced() as over:
+                fd = os.open(f"{mnt}/sizes.dat", os.O_CREAT | os.O_WRONLY)
+                os.write(fd, b"x" * 50)
+                os.write(fd, b"y" * 50)
+                os.close(fd)
+        finally:
+            ip.uninstall()
+        logical = over.report().files[f"{mnt}/sizes.dat"]
+        assert logical.write_sizes.as_dict() == {"0-100": 2}
+        assert logical.sequentiality == 1.0
+
+        # Under: physical dropping traffic.
+        tracer = Tracer()
+        tracer.install()
+        try:
+            ip = Interposer([(mnt, backend)])
+            ip.install()
+            try:
+                fd = os.open(f"{mnt}/deep2.dat", os.O_CREAT | os.O_WRONLY)
+                os.write(fd, b"x" * 50)
+                os.write(fd, b"y" * 50)
+                os.close(fd)
+            finally:
+                ip.uninstall()
+        finally:
+            tracer.uninstall()
+        droppings = [
+            f
+            for p, f in tracer.report().files.items()
+            if "dropping.data" in p
+        ]
+        assert len(droppings) == 1
+        # The dropping is a pure log: appends at consecutive offsets.
+        assert droppings[0].write_sizes.as_dict() == {"0-100": 2}
+        assert droppings[0].sequentiality == 1.0
 
     def test_layers_unwind_cleanly(self, mnt, backend):
         orig_open = os.open

@@ -1,0 +1,57 @@
+"""Tests for the ``repro-insights`` console entry point."""
+
+from __future__ import annotations
+
+import json
+
+from repro.insights import cli
+
+
+class TestCli:
+    def test_default_flashio_text_report(self, capsys):
+        assert cli.main(["--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "I/O insights — flashio Sierra LDPLFS" in out
+
+    def test_json_output(self, capsys):
+        assert cli.main(["--workload", "mpiio-test", "--machine", "minerva",
+                         "--method", "MPI-IO", "--nodes", "2", "--ppn", "1",
+                         "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["profile"]["workload"] == "mpiio-test"
+        assert isinstance(parsed["findings"], list)
+
+    def test_bt_with_cores(self, capsys):
+        assert cli.main(["--workload", "bt", "--machine", "sierra",
+                         "--method", "MPI-IO", "--cores", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "bt.C" in out
+
+    def test_advise_appends_model_recommendation(self, capsys):
+        assert cli.main(["--workload", "bt", "--machine", "sierra",
+                         "--method", "MPI-IO", "--cores", "256",
+                         "--advise"]) == 0
+        out = capsys.readouterr().out
+        assert "model advice: use" in out
+        assert "Observed evidence" in out
+
+    def test_bad_workload_rejected(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            cli.main(["--workload", "nope"])
+
+    def test_invalid_scale_is_a_clean_error(self, capsys):
+        # No traceback: workload validation surfaces as a CLI error.
+        assert cli.main(["--workload", "bt", "--cores", "10"]) == 2
+        assert "square process count" in capsys.readouterr().err
+        assert cli.main(["--workload", "flashio", "--nodes", "0"]) == 2
+        assert "at least one node" in capsys.readouterr().err
+
+    def test_entry_point_registered(self):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        with open(os.path.join(root, "pyproject.toml")) as fh:
+            text = fh.read()
+        assert 'repro-insights = "repro.insights.cli:main"' in text
