@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""A BT-style workload, written the way BT actually writes (paper §IV.D).
+
+NAS BT emits one fixed-size solution element per call — thousands of tiny
+sequential writes to a shared file.  That access pattern is exactly the
+regime where the paper measures LDPLFS's biggest win (BT class C: ~57x
+on Sierra), and exactly what ``repro-lint`` flags statically as LDP107
+(small-write-loop) before the job is ever submitted:
+
+    PYTHONPATH=src python -m repro.lint.cli examples/bt_style_app.py
+
+Run it for real (it is a working workload, not just lint bait):
+
+    PYTHONPATH=src python examples/bt_style_app.py
+"""
+
+import os
+import tempfile
+
+from repro.core import interposed
+
+# one BT solution element: 5 doubles x 41 cells = 1640 bytes
+RECORD = b"\x00" * 1640
+STEPS = 2000
+
+backend = tempfile.mkdtemp(prefix="plfs-backend-")
+mount = "/mnt/plfs"
+
+
+def write_solution(fd: int) -> int:
+    written = 0
+    for _ in range(STEPS):
+        written += os.write(fd, RECORD)  # LDP107: fixed 1640-byte writes
+    return written
+
+
+def main() -> None:
+    with interposed([(mount, backend)]):
+        fd = os.open(f"{mount}/bt.epsilon.out", os.O_CREAT | os.O_WRONLY)
+        total = write_solution(fd)
+        os.close(fd)
+        size = os.stat(f"{mount}/bt.epsilon.out").st_size
+    print(f"wrote {total} bytes in {STEPS} records; container sees {size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,8 +27,12 @@ _OS_PATCHES = [
     "close",
     "read",
     "write",
+    "readv",
+    "writev",
     "pread",
     "pwrite",
+    "preadv",
+    "pwritev",
     "lseek",
     "dup",
     "dup2",
@@ -52,6 +56,7 @@ _OS_PATCHES = [
     "utime",
     "sendfile",
     "copy_file_range",
+    "splice",
     "statvfs",
     "fstatvfs",
     "link",

@@ -66,6 +66,11 @@ class RealOS:
     symlink: callable | None = None
     readlink: callable | None = None
     copy_file_range: callable | None = None
+    readv: callable | None = None
+    writev: callable | None = None
+    preadv: callable | None = None
+    pwritev: callable | None = None
+    splice: callable | None = None
 
     @classmethod
     def snapshot(cls) -> "RealOS":
@@ -107,6 +112,11 @@ class RealOS:
             symlink=getattr(os, "symlink", None),
             readlink=getattr(os, "readlink", None),
             copy_file_range=getattr(os, "copy_file_range", None),
+            readv=getattr(os, "readv", None),
+            writev=getattr(os, "writev", None),
+            preadv=getattr(os, "preadv", None),
+            pwritev=getattr(os, "pwritev", None),
+            splice=getattr(os, "splice", None),
         )
 
 
@@ -273,6 +283,85 @@ class Shim:
         return self.real.lseek(entry.fd, pos, how)
 
     # ------------------------------------------------------------------ #
+    # vectored I/O (scatter/gather: one call, many buffers, one cursor
+    # movement — POSIX readv/writev atomicity at the logical-file level)
+    # ------------------------------------------------------------------ #
+
+    def _readv_at(self, entry, buffers, offset) -> int:
+        total = 0
+        for buf in buffers:
+            view = memoryview(buf)
+            data = plfs_api.plfs_read(entry.plfs_fd, len(view), offset + total)
+            n = len(data)
+            view[:n] = data
+            total += n
+            if n < len(view):
+                break
+        return total
+
+    def _writev_at(self, entry, buffers, offset) -> int:
+        total = 0
+        for buf in buffers:
+            data = bytes(buf)
+            n = plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset + total)
+            total += n
+            if n < len(data):  # pragma: no cover - plfs_write is all-or-raise
+                break
+        return total
+
+    def readv(self, fd, buffers):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.readv(fd, buffers)
+        self._count(True)
+        if not entry.readable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        cursor = self.table.tell(entry)
+        total = self._readv_at(entry, buffers, cursor)
+        if total:
+            self.table.advance(entry, total)
+        return total
+
+    def writev(self, fd, buffers):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.writev(fd, buffers)
+        self._count(True)
+        if not entry.writable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        if entry.append:
+            offset = plfs_api.plfs_getattr(entry.plfs_fd).st_size
+        else:
+            offset = self.table.tell(entry)
+        total = self._writev_at(entry, buffers, offset)
+        self.table.set_cursor(entry, offset + total)
+        return total
+
+    def preadv(self, fd, buffers, offset, flags=0):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.preadv(fd, buffers, offset, flags)
+        self._count(True)
+        if not entry.readable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        return self._readv_at(entry, buffers, offset)
+
+    def pwritev(self, fd, buffers, offset, flags=0):
+        entry = self.table.lookup(fd)
+        if entry is None:
+            self._count(False)
+            return self.real.pwritev(fd, buffers, offset, flags)
+        self._count(True)
+        if not entry.writable:
+            raise OSError(errno.EBADF, os.strerror(errno.EBADF))
+        # Like pwrite: honour the explicit offset (even with O_APPEND) and
+        # leave the emulated cursor untouched.
+        return self._writev_at(entry, buffers, offset)
+
+    # ------------------------------------------------------------------ #
     # positional I/O
     # ------------------------------------------------------------------ #
 
@@ -354,6 +443,15 @@ class Shim:
             raise OSError(errno.EXDEV, os.strerror(errno.EXDEV))
         self._count(False)
         return self.real.copy_file_range(src, dst, count, offset_src, offset_dst)
+
+    def splice(self, src, dst, count, offset_src=None, offset_dst=None):
+        if self.table.lookup(src) is not None or self.table.lookup(dst) is not None:
+            # A PLFS fd's kernel descriptor is the shadow file; splicing it
+            # would move shadow bytes, not logical data.  Refuse, forcing
+            # callers onto an ordinary read/write loop the shim does see.
+            raise OSError(errno.EINVAL, os.strerror(errno.EINVAL))
+        self._count(False)
+        return self.real.splice(src, dst, count, offset_src, offset_dst)
 
     def fstatvfs(self, fd):
         entry = self.table.lookup(fd)

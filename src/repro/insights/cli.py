@@ -59,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the model-based method recommendation",
     )
+    parser.add_argument(
+        "--lint",
+        metavar="SCRIPT",
+        default=None,
+        help=(
+            "also statically lint SCRIPT (repro.lint) and merge its "
+            "findings into the report as static evidence"
+        ),
+    )
     return parser
 
 
@@ -85,15 +94,34 @@ def main(argv: list[str] | None = None) -> int:
     profile = profile_from_run(result, machine, method, workload=workload)
     findings = run_rules(profile)
 
+    static_findings = None
+    static_evidence = None
+    if args.lint is not None:
+        from repro.lint import as_static_evidence, lint_path
+
+        try:
+            static_findings = lint_path(args.lint)
+        except OSError as exc:
+            print(f"repro-insights: error: {exc}", file=sys.stderr)
+            return 2
+        static_evidence = as_static_evidence(static_findings)
+
     if args.json:
-        print(report_to_json(profile, findings))
+        print(report_to_json(profile, findings, static_evidence))
     else:
         print(render_report(profile, findings))
+        if static_findings is not None:
+            from repro.lint import render_findings as render_lint
+
+            print()
+            print(render_lint(static_findings, target=args.lint))
 
     if args.advise:
         from repro.model.autotune import advise_from_profile
 
-        rec = advise_from_profile(machine, profile)
+        rec = advise_from_profile(
+            machine, profile, static_findings=static_findings
+        )
         print()
         print(f"model advice: use {rec.method.name} — {rec.explanation}")
     return 0

@@ -103,8 +103,15 @@ def render_report(profile: IORunProfile, findings: list[Finding]) -> str:
     )
 
 
-def report_to_dict(profile: IORunProfile, findings: list[Finding]) -> dict:
-    return {
+def report_to_dict(
+    profile: IORunProfile,
+    findings: list[Finding],
+    static: list[dict] | None = None,
+) -> dict:
+    """Report dict; *static* adds ahead-of-run lint evidence (the output
+    of :func:`repro.lint.reporter.as_static_evidence`) alongside the
+    observed-run findings."""
+    report = {
         "profile": profile.as_dict(),
         "findings": [
             {
@@ -118,8 +125,15 @@ def report_to_dict(profile: IORunProfile, findings: list[Finding]) -> dict:
             for f in findings
         ],
     }
+    if static is not None:
+        report["static"] = static
+    return report
 
 
-def report_to_json(profile: IORunProfile, findings: list[Finding]) -> str:
+def report_to_json(
+    profile: IORunProfile,
+    findings: list[Finding],
+    static: list[dict] | None = None,
+) -> str:
     """Canonical JSON report (byte-identical for identical runs)."""
-    return canonical_json(report_to_dict(profile, findings))
+    return canonical_json(report_to_dict(profile, findings, static))

@@ -1,0 +1,135 @@
+"""``repro-lint`` — static I/O analysis before a run ever happens.
+
+Two modes::
+
+    # lint application workload scripts for LDPLFS anti-patterns
+    repro-lint app.py [more.py ...] [--mount /mnt/plfs] [--json]
+
+    # audit our own interposition coverage + shim locking (the CI gate)
+    repro-lint --self-audit [--json]
+
+Exit status: 0 when no finding reaches ``--fail-on`` (default: warn),
+1 when one does, 2 on usage errors.  Output is deterministic — identical
+inputs produce byte-identical reports, JSON included.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.insights.rules import Severity
+
+from .analyzer import lint_path, self_audit
+from .findings import LintFinding, sort_findings
+from .reporter import (
+    findings_to_json,
+    render_findings,
+    render_self_audit,
+    self_audit_to_json,
+)
+from .rules import rule_catalogue
+
+_SEVERITY_CHOICES = {
+    "info": Severity.INFO,
+    "recommend": Severity.RECOMMEND,
+    "warn": Severity.WARN,
+    "high": Severity.HIGH,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static I/O analysis for LDPLFS: application anti-pattern "
+            "linting, interposition-coverage audit, and shim concurrency "
+            "checking"
+        ),
+    )
+    parser.add_argument(
+        "scripts", nargs="*", help="workload scripts to lint"
+    )
+    parser.add_argument(
+        "--self-audit",
+        action="store_true",
+        help="audit repro.core interposition coverage and lock discipline",
+    )
+    parser.add_argument(
+        "--mount",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="treat paths under PREFIX as PLFS mount paths (repeatable)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the canonical JSON report"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=sorted(_SEVERITY_CHOICES) + ["never"],
+        default="warn",
+        help="lowest severity that fails the run (default: warn)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry"
+    )
+    return parser
+
+
+def _exit_code(findings: list[LintFinding], fail_on: str) -> int:
+    if fail_on == "never":
+        return 0
+    threshold = _SEVERITY_CHOICES[fail_on]
+    return 1 if any(f.severity >= threshold for f in findings) else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for row in rule_catalogue():
+            print(
+                f"{row['rule']}  {row['name']:<22} "
+                f"[{row['severity']}] {row['summary']}"
+            )
+        return 0
+
+    if args.self_audit:
+        audit = self_audit()
+        print(
+            self_audit_to_json(audit)
+            if args.json
+            else render_self_audit(audit)
+        )
+        return _exit_code(audit.findings, args.fail_on)
+
+    if not args.scripts:
+        parser.print_usage(sys.stderr)
+        print(
+            "repro-lint: error: provide scripts to lint or --self-audit",
+            file=sys.stderr,
+        )
+        return 2
+
+    mounts = tuple(args.mount) or None
+    findings: list[LintFinding] = []
+    for path in args.scripts:
+        try:
+            findings.extend(lint_path(path, mounts=mounts))
+        except OSError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+    findings = sort_findings(findings)
+    target = ", ".join(args.scripts)
+    print(
+        findings_to_json(findings, target)
+        if args.json
+        else render_findings(findings, target)
+    )
+    return _exit_code(findings, args.fail_on)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Static concurrency checker for the interposition core.
+
+The shim's correctness under threads hangs on two shared structures: the
+fd lookup table (``FdTable._entries``, guarded by ``self._lock``), the
+mount list (``MountTable._mounts``, same pattern), and the module-global
+``interpose._installed`` (guarded by ``_install_lock``).  A mutation that
+slips outside its lock is invisible to tests until a rare interleaving
+loses a descriptor — so this checker proves the guard discipline
+*statically*: every write to a guarded field must sit lexically inside a
+``with <its lock>:`` block.
+
+The analysis is deliberately lexical (no aliasing, no inter-procedural
+flow): the core's locking style is ``with self._lock:`` around the whole
+mutation, and anything cleverer than that should fail the audit and be
+rewritten, not accommodated.  A lock-order pass also records every nested
+acquisition pair of known guards and reports inversions.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass
+
+from .findings import LintFinding, RULES, sort_findings
+
+_MUTATING_METHODS = frozenset(
+    {
+        "pop", "popitem", "clear", "update", "setdefault",
+        "append", "extend", "insert", "remove", "sort",
+        "add", "discard",
+    }
+)
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One guarded-field contract: *field* of *owner* is written only
+    under *guard* (``owner=""`` means a module-level global)."""
+
+    module: str  # import path, for default source loading
+    owner: str  # class name, or "" for module level
+    field: str
+    guard: str  # lock expression as written, e.g. "self._lock"
+
+    def describe(self) -> str:
+        scope = f"{self.owner}." if self.owner else ""
+        return f"{self.module}:{scope}{self.field} under {self.guard}"
+
+
+#: the contracts the self-audit enforces over our own core
+DEFAULT_GUARDS: list[GuardSpec] = [
+    GuardSpec("repro.core.fdtable", "FdTable", "_entries", "self._lock"),
+    GuardSpec("repro.core.mounts", "MountTable", "_mounts", "self._lock"),
+    GuardSpec("repro.core.interpose", "", "_installed", "_install_lock"),
+]
+
+#: constructors touch state no other thread can see yet
+_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+
+
+def _module_source(module: str) -> tuple[str, str]:
+    spec = importlib.util.find_spec(module)
+    if spec is None or spec.origin is None:
+        raise ImportError(f"cannot locate source for {module!r}")
+    with open(spec.origin, "r", encoding="utf-8") as fh:
+        return fh.read(), spec.origin
+
+
+def _is_field_ref(node: ast.AST, guard: GuardSpec) -> bool:
+    """Does *node* denote the guarded field (``self.field`` or global)?"""
+    if guard.owner:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == guard.field
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+    return isinstance(node, ast.Name) and node.id == guard.field
+
+
+def _mutation_targets(node: ast.AST, guard: GuardSpec):
+    """Yield the mutated-field references found directly at *node*."""
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if _is_field_ref(target, guard):
+                yield target
+            elif isinstance(target, ast.Subscript) and _is_field_ref(
+                target.value, guard
+            ):
+                yield target
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _is_field_ref(
+                target.value, guard
+            ):
+                yield target
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and _is_field_ref(func.value, guard)
+        ):
+            yield node
+
+
+class _GuardWalker(ast.NodeVisitor):
+    """Walks one function body tracking how deep inside the guard we are."""
+
+    def __init__(self, guard: GuardSpec, filename: str, func_name: str):
+        self.guard = guard
+        self.filename = filename
+        self.func_name = func_name
+        self.depth = 0
+        self.violations: list[ast.AST] = []
+
+    def _acquires_guard(self, node) -> bool:
+        return any(
+            ast.unparse(item.context_expr) == self.guard.guard
+            for item in node.items
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        held = self._acquires_guard(node)
+        self.depth += held
+        try:
+            self.generic_visit(node)
+        finally:
+            self.depth -= held
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for target in _mutation_targets(node, self.guard):
+            if self.depth == 0:
+                self.violations.append(target)
+        super().generic_visit(node)
+
+
+def _functions_to_check(tree: ast.AST, guard: GuardSpec):
+    """(qualname, function node) pairs the contract applies to."""
+    if guard.owner:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == guard.owner:
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and item.name not in _EXEMPT_METHODS:
+                        yield f"{guard.owner}.{item.name}", item
+    else:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                declares_global = any(
+                    isinstance(stmt, ast.Global) and guard.field in stmt.names
+                    for stmt in ast.walk(node)
+                )
+                if declares_global:
+                    yield node.name, node
+
+
+def check_source(
+    source: str, filename: str, guards: list[GuardSpec]
+) -> list[LintFinding]:
+    """Run the guarded-field analysis over one module's source."""
+    tree = ast.parse(source, filename=filename)
+    spec = RULES["LDP003"]
+    findings: list[LintFinding] = []
+    for guard in guards:
+        for qualname, func in _functions_to_check(tree, guard):
+            walker = _GuardWalker(guard, filename, qualname)
+            walker.visit(func)
+            for node in walker.violations:
+                findings.append(
+                    LintFinding(
+                        rule=spec.rule_id,
+                        name=spec.name,
+                        severity=spec.severity,
+                        file=filename,
+                        line=getattr(node, "lineno", 0),
+                        col=getattr(node, "col_offset", 0),
+                        detail=(
+                            f"{qualname} mutates "
+                            f"{guard.owner + '.' if guard.owner else ''}"
+                            f"{guard.field} outside 'with {guard.guard}:'; "
+                            "a concurrent open/close can interleave and "
+                            "lose or double-free a descriptor entry"
+                        ),
+                        recommendation=spec.recommendation,
+                        evidence={
+                            "field": guard.field,
+                            "function": qualname,
+                            "guard": guard.guard,
+                        },
+                    )
+                )
+    findings.extend(_check_lock_order(tree, filename, guards))
+    return sort_findings(findings)
+
+
+def _check_lock_order(
+    tree: ast.AST, filename: str, guards: list[GuardSpec]
+) -> list[LintFinding]:
+    """Report guard locks acquired in inconsistent nesting orders."""
+    lock_names = sorted({g.guard for g in guards})
+    pairs: dict[tuple[str, str], ast.AST] = {}
+
+    def walk(node: ast.AST, held: list[str]) -> None:
+        acquired: list[str] = []
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = ast.unparse(item.context_expr)
+                if expr in lock_names:
+                    acquired.append(expr)
+                    for outer in held:
+                        if outer != expr:
+                            pairs.setdefault((outer, expr), node)
+        for child in ast.iter_child_nodes(node):
+            walk(child, held + acquired)
+
+    walk(tree, [])
+    spec = RULES["LDP004"]
+    findings = []
+    for (outer, inner), node in sorted(pairs.items()):
+        if (inner, outer) in pairs:
+            findings.append(
+                LintFinding(
+                    rule=spec.rule_id,
+                    name=spec.name,
+                    severity=spec.severity,
+                    file=filename,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    detail=(
+                        f"{outer} is acquired while holding {inner} here, "
+                        f"but the opposite order also exists in this "
+                        "module — two threads taking the two paths "
+                        "deadlock"
+                    ),
+                    recommendation=spec.recommendation,
+                    evidence={"inner": inner, "outer": outer},
+                )
+            )
+    return findings
+
+
+def check_module(module: str, guards: list[GuardSpec]) -> list[LintFinding]:
+    source, origin = _module_source(module)
+    return check_source(source, module, guards)
+
+
+def self_audit_concurrency(
+    guards: list[GuardSpec] | None = None,
+) -> list[LintFinding]:
+    """Run every guard contract against its own module (the CI gate)."""
+    guards = DEFAULT_GUARDS if guards is None else guards
+    findings: list[LintFinding] = []
+    by_module: dict[str, list[GuardSpec]] = {}
+    for guard in guards:
+        by_module.setdefault(guard.module, []).append(guard)
+    for module in sorted(by_module):
+        findings.extend(check_module(module, by_module[module]))
+    return sort_findings(findings)

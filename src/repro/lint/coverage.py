@@ -1,0 +1,320 @@
+"""The interposition-coverage audit.
+
+The paper's premise is *no application modification*: whatever POSIX entry
+point the application reaches for, the preloaded shim must catch it, or
+the call silently operates on the real file system and the PLFS container
+never sees it.  The C shim gets this wrong by omission (a libc symbol
+nobody thought to wrap); the Python analogue is an ``os`` function missing
+from :data:`repro.core.interpose._OS_PATCHES`.
+
+This audit makes the omission class mechanical: a curated catalogue of
+every file-touching symbol on the ``os``/``builtins``/``io`` surfaces is
+cross-checked against the patch list and the :class:`~repro.core.shim.Shim`
+method set.  Every catalogue symbol must be either *patched* (with a shim
+implementation behind it) or *acknowledged* — an explicit entry with a
+written justification for why passthrough is safe.  Anything else is a
+bypass risk and fails the self-audit.  This is the check that caught the
+vectored-I/O gap (``os.readv``/``os.writev``/``os.preadv``/``os.pwritev``)
+closed in PR 2.
+"""
+
+from __future__ import annotations
+
+import builtins
+import inspect
+import io
+import os
+from dataclasses import dataclass, field
+
+from repro.core import interpose
+from repro.core.shim import RealOS, Shim
+
+from .findings import LintFinding, RuleSpec, RULES, Severity, sort_findings
+
+#: every symbol on the ``os`` surface that takes a path or descriptor and
+#: reads, writes, or mutates file data or metadata (Linux + common POSIX)
+FILE_TOUCHING_OS: frozenset[str] = frozenset(
+    {
+        # descriptors and data
+        "open", "close", "read", "write", "readv", "writev",
+        "pread", "pwrite", "preadv", "pwritev", "lseek",
+        "dup", "dup2", "sendfile", "copy_file_range", "splice",
+        "fsync", "fdatasync", "ftruncate", "truncate", "isatty",
+        "posix_fallocate", "posix_fadvise", "fdopen",
+        # path metadata
+        "stat", "lstat", "fstat", "access", "chmod", "lchmod", "utime",
+        "statvfs", "fstatvfs", "pathconf", "fpathconf",
+        "chown", "lchown", "fchown", "fchmod",
+        "getxattr", "setxattr", "listxattr", "removexattr",
+        # namespace
+        "unlink", "remove", "rename", "replace", "link", "symlink",
+        "readlink", "mkdir", "rmdir", "listdir", "scandir",
+        "makedirs", "removedirs", "renames", "walk", "fwalk",
+        "mknod", "mkfifo",
+        # process-wide
+        "chdir", "fchdir", "chroot", "getcwd", "getcwdb",
+        "sync", "system", "popen",
+    }
+)
+
+#: catalogue symbols deliberately left unpatched, each with the written
+#: justification the audit report carries verbatim
+ACKNOWLEDGED_PASSTHROUGH: dict[str, str] = {
+    "chdir": (
+        "working-directory navigation: logical mount paths have no kernel "
+        "presence, so chdir onto one fails loudly (ENOENT) instead of "
+        "silently bypassing; resolution of logical paths is absolute"
+    ),
+    "fchdir": (
+        "directory fds handed out for logical directories are real backend "
+        "fds (see Shim.open), so fchdir lands inside the backend tree"
+    ),
+    "getcwd": "reports the real working directory; never retargeted",
+    "getcwdb": "bytes variant of getcwd; never retargeted",
+    "chroot": "process-level namespace change, outside interposition scope",
+    "chown": (
+        "ownership is not modelled by the container format (the ACCESS "
+        "dropping records mode only); passthrough fails loudly (ENOENT) on "
+        "logical paths"
+    ),
+    "lchown": "see chown; symlinks do not exist inside logical trees",
+    "fchown": "applies to the shadow descriptor only; see chown",
+    "fchmod": (
+        "fd-based chmod lands on the shadow descriptor; container modes "
+        "are path-based through the interposed chmod"
+    ),
+    "lchmod": "see chmod; symlinks do not exist inside logical trees",
+    "mknod": (
+        "special files cannot live inside a logical PLFS tree; passthrough "
+        "fails loudly (ENOENT) on logical paths"
+    ),
+    "mkfifo": "see mknod",
+    "makedirs": "pure-Python composite over the interposed mkdir",
+    "removedirs": "pure-Python composite over the interposed rmdir",
+    "renames": "pure-Python composite over the interposed rename",
+    "walk": "pure-Python composite over the interposed scandir",
+    "fwalk": (
+        "opens real directory fds; logical directories resolve to backend "
+        "directories through the interposed open"
+    ),
+    "pathconf": "limits query answered by the backend file system",
+    "fpathconf": "limits query answered on the shadow descriptor",
+    "isatty": (
+        "query on the shadow descriptor; the answer (False) is correct "
+        "for every PLFS file"
+    ),
+    "posix_fallocate": (
+        "preallocation on the shadow fd; droppings grow by append, so "
+        "allocation hints are meaningless for them"
+    ),
+    "posix_fadvise": "advisory only; ignoring it cannot corrupt data",
+    "fdopen": (
+        "looks up io.open at call time, which install() rebinds; the "
+        "aliasing hazard is flagged per-script by lint rule LDP106"
+    ),
+    "system": (
+        "spawns a child process the interposer cannot reach; mount paths "
+        "crossing the process boundary are flagged by lint rule LDP103"
+    ),
+    "popen": "see system",
+    "sync": (
+        "global kernel flush; PLFS data is flushed per-descriptor by the "
+        "interposed fsync/fdatasync"
+    ),
+    "getxattr": (
+        "extended attributes are not part of the container format; "
+        "passthrough fails loudly (ENOENT) on logical paths"
+    ),
+    "setxattr": "see getxattr",
+    "listxattr": "see getxattr",
+    "removexattr": "see getxattr",
+}
+
+#: file-opening callables on the ``io`` surface and their standing
+IO_SURFACE: dict[str, str] = {
+    "open": "patched",  # rebound alongside builtins.open by _patch()
+    "open_code": (
+        "interpreter-internal loader hook; reads real source files only"
+    ),
+    "FileIO": (
+        "C-level constructor that install() cannot rebind; direct use is "
+        "flagged per-script by lint rule LDP106"
+    ),
+}
+
+#: patch names whose Shim method carries a different name
+SHIM_ALIASES = {"remove": "unlink"}
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one coverage audit (all lists sorted, JSON-ready)."""
+
+    patched: list[str] = field(default_factory=list)
+    uncovered: list[str] = field(default_factory=list)
+    acknowledged: dict[str, str] = field(default_factory=dict)
+    missing_shim: list[str] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+    builtin_covered: list[str] = field(default_factory=list)
+    builtin_uncovered: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.uncovered or self.missing_shim or self.builtin_uncovered)
+
+    def as_dict(self) -> dict:
+        return {
+            "patched": self.patched,
+            "uncovered": self.uncovered,
+            "acknowledged": self.acknowledged,
+            "missing_shim": self.missing_shim,
+            "stale": self.stale,
+            "builtin_covered": self.builtin_covered,
+            "builtin_uncovered": self.builtin_uncovered,
+            "clean": self.clean,
+        }
+
+
+def _patched_builtin_surfaces(interposer_cls=None) -> set[str]:
+    """The builtin/io names ``Interposer._patch`` rebinds, read statically
+    from its source (the audit must not install anything to find out)."""
+    cls = interposer_cls or interpose.Interposer
+    try:
+        source = inspect.getsource(cls._patch)
+    except (OSError, TypeError):  # pragma: no cover - frozen builds
+        return set()
+    return {
+        name
+        for name in ("builtins.open", "io.open")
+        if f'"{name}"' in source or f"'{name}'" in source
+    }
+
+
+def audit_interposition(
+    patches: list[str] | None = None,
+    shim_cls: type = Shim,
+    os_module=os,
+    catalogue: frozenset[str] = FILE_TOUCHING_OS,
+    acknowledged: dict[str, str] | None = None,
+    interposer_cls=None,
+) -> AuditReport:
+    """Cross-check the file-touching catalogue against the patch list.
+
+    Every parameter defaults to the live tree; tests inject a seeded-gap
+    patch list to prove a regression would be caught.
+    """
+    patches = list(interpose._OS_PATCHES if patches is None else patches)
+    acknowledged = (
+        ACKNOWLEDGED_PASSTHROUGH if acknowledged is None else acknowledged
+    )
+    patched_set = set(patches)
+    present = {name for name in catalogue if hasattr(os_module, name)}
+
+    report = AuditReport()
+    report.patched = sorted(patched_set & present)
+    report.stale = sorted(p for p in patches if not hasattr(os_module, p))
+    report.uncovered = sorted(
+        name
+        for name in present
+        if name not in patched_set and name not in acknowledged
+    )
+    report.acknowledged = {
+        name: reason
+        for name, reason in sorted(acknowledged.items())
+        if name in present
+    }
+    report.missing_shim = sorted(
+        name
+        for name in patched_set
+        if not callable(getattr(shim_cls, SHIM_ALIASES.get(name, name), None))
+    )
+
+    covered_builtins = _patched_builtin_surfaces(interposer_cls)
+    surfaces: dict[str, str] = {"builtins.open": "patched"}
+    surfaces.update({f"io.{k}": v for k, v in IO_SURFACE.items()})
+    for surface, standing in sorted(surfaces.items()):
+        module, attr = surface.split(".", 1)
+        if not hasattr(io if module == "io" else builtins, attr):
+            continue  # pragma: no cover - platform dependent
+        if standing == "patched":
+            if surface in covered_builtins:
+                report.builtin_covered.append(surface)
+            else:
+                report.builtin_uncovered.append(surface)
+        else:
+            report.acknowledged[surface] = standing
+    return report
+
+
+def audit_findings(report: AuditReport) -> list[LintFinding]:
+    """Render an audit's failures as lint findings (empty when clean)."""
+
+    def finding(spec: RuleSpec, detail: str, **evidence) -> LintFinding:
+        return LintFinding(
+            rule=spec.rule_id,
+            name=spec.name,
+            severity=spec.severity,
+            file="repro.core.interpose",
+            line=0,
+            col=0,
+            detail=detail,
+            recommendation=spec.recommendation,
+            evidence=dict(sorted(evidence.items())),
+        )
+
+    findings: list[LintFinding] = []
+    for name in report.uncovered:
+        findings.append(
+            finding(
+                RULES["LDP001"],
+                f"os.{name} touches files but is neither patched nor "
+                "acknowledged: while interposition is installed it runs "
+                "against the real OS, so a PLFS-backed path or fd "
+                "silently bypasses the container",
+                symbol=f"os.{name}",
+            )
+        )
+    for surface in report.builtin_uncovered:
+        findings.append(
+            finding(
+                RULES["LDP001"],
+                f"{surface} is not rebound by Interposer._patch; "
+                "applications opening through it bypass PLFS",
+                symbol=surface,
+            )
+        )
+    for name in report.missing_shim:
+        findings.append(
+            finding(
+                RULES["LDP002"],
+                f"os.{name} is listed in _OS_PATCHES but the Shim class "
+                "has no matching method; install() would bind None",
+                symbol=f"os.{name}",
+            )
+        )
+    for name in report.stale:
+        findings.append(
+            finding(
+                RULES["LDP005"],
+                f"_OS_PATCHES lists os.{name}, which does not exist on "
+                "this platform's os module; the entry is dead weight",
+                symbol=f"os.{name}",
+            )
+        )
+    return sort_findings(findings)
+
+
+def realos_gaps(patches: list[str] | None = None) -> list[str]:
+    """Patched symbols with no RealOS snapshot field to pass through to.
+
+    A patch without a saved original cannot fall through for non-PLFS
+    paths — a softer failure than a missing shim, but still a config bug.
+    """
+    patches = list(interpose._OS_PATCHES if patches is None else patches)
+    fields = set(RealOS.__dataclass_fields__)
+    gaps = []
+    for name in patches:
+        target = SHIM_ALIASES.get(name, name)
+        if target not in fields and name not in ("remove",):
+            gaps.append(name)
+    return sorted(gaps)

@@ -1,0 +1,234 @@
+"""Finding type and the severity-graded rule registry.
+
+Mirrors :mod:`repro.insights.rules`: one shared :class:`Severity` scale,
+one dataclass per detected issue carrying the evidence that triggered it,
+and a registry keyed by stable rule IDs so reports (and the golden-file
+tests) stay byte-identical across runs.
+
+ID ranges: ``LDP0xx`` are self-audit rules (interposition coverage and
+shim concurrency over our own core); ``LDP1xx`` are application-script
+anti-patterns found by the AST linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.insights.rules import Severity
+
+__all__ = ["Severity", "LintFinding", "RuleSpec", "RULES", "sort_findings"]
+
+
+@dataclass
+class LintFinding:
+    """One statically detected issue, pinned to a source location."""
+
+    rule: str
+    name: str
+    severity: Severity
+    file: str
+    line: int
+    col: int
+    detail: str
+    recommendation: str
+    evidence: dict = field(default_factory=dict)
+
+    def location(self) -> str:
+        if self.line:
+            return f"{self.file}:{self.line}"
+        return self.file
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.severity.name}] {self.rule} {self.name}  {self.location()}"
+        ]
+        lines.append(f"  {self.detail}")
+        lines.append(f"  -> {self.recommendation}")
+        if self.evidence:
+            ev = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(self.evidence.items())
+            )
+            lines.append(f"  evidence: {ev}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity.name,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "detail": self.detail,
+            "recommendation": self.recommendation,
+            "evidence": self.evidence,
+        }
+
+
+def _fmt(v) -> str:
+    if isinstance(v, bool):
+        return str(v).lower()
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def sort_findings(findings: list[LintFinding]) -> list[LintFinding]:
+    """Deterministic report order: most severe first, then location."""
+    return sorted(
+        findings,
+        key=lambda f: (-int(f.severity), f.file, f.line, f.col, f.rule),
+    )
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Registry entry: the per-rule constants every finding inherits."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+    recommendation: str
+
+
+def _spec(rule_id, name, severity, summary, recommendation) -> RuleSpec:
+    return RuleSpec(rule_id, name, severity, summary, recommendation)
+
+
+#: the rule registry (stable IDs; golden tests pin them)
+RULES: dict[str, RuleSpec] = {
+    spec.rule_id: spec
+    for spec in [
+        # -- self-audit rules (coverage + concurrency) -------------------- #
+        _spec(
+            "LDP001",
+            "uninterposed-symbol",
+            Severity.HIGH,
+            "a file-touching os symbol is not interposed",
+            "add the symbol to interpose._OS_PATCHES with a Shim method "
+            "(or record a justified entry in coverage.ACKNOWLEDGED_PASSTHROUGH)",
+        ),
+        _spec(
+            "LDP002",
+            "patch-without-shim",
+            Severity.HIGH,
+            "a patched symbol has no Shim implementation",
+            "implement the same-named Shim method (passthrough at minimum) "
+            "or drop the _OS_PATCHES entry",
+        ),
+        _spec(
+            "LDP003",
+            "unguarded-mutation",
+            Severity.HIGH,
+            "shared interposition state mutated outside its lock",
+            "wrap the mutation in the field's guarding lock "
+            "(see concurrency.DEFAULT_GUARDS)",
+        ),
+        _spec(
+            "LDP004",
+            "lock-order-inversion",
+            Severity.HIGH,
+            "two guard locks are acquired in inconsistent orders",
+            "pick one acquisition order for the lock pair and use it at "
+            "every nesting site",
+        ),
+        _spec(
+            "LDP005",
+            "stale-patch",
+            Severity.INFO,
+            "an _OS_PATCHES entry does not exist in the os module",
+            "remove the dead entry (or gate it per platform)",
+        ),
+        # -- application anti-patterns (AST linter) ----------------------- #
+        _spec(
+            "LDP101",
+            "mmap-on-mount",
+            Severity.HIGH,
+            "mmap bypasses the interposed I/O path",
+            "replace the mapping with read/write (or pread/pwrite) calls, "
+            "which the shim retargets to PLFS",
+        ),
+        _spec(
+            "LDP102",
+            "zero-copy-bypass",
+            Severity.WARN,
+            "kernel zero-copy cannot see PLFS data",
+            "copy with a read/write loop (shutil.copyfileobj) for files "
+            "under a PLFS mount; the shim refuses zero-copy on PLFS fds",
+        ),
+        _spec(
+            "LDP103",
+            "subprocess-on-mount",
+            Severity.HIGH,
+            "a child process is handed a logical mount path",
+            "do the I/O in-process, pass the backend path instead, or "
+            "activate preload in the child (LDPLFS_PRELOAD=1 plus "
+            "import repro.core.preload)",
+        ),
+        _spec(
+            "LDP104",
+            "fd-arithmetic",
+            Severity.WARN,
+            "arithmetic on a file-descriptor value",
+            "treat descriptors as opaque handles; derive new ones only via "
+            "dup/dup2 (both interposed)",
+        ),
+        _spec(
+            "LDP105",
+            "import-time-binding",
+            Severity.HIGH,
+            "a POSIX entry point was captured at import time",
+            "call through the module (os.open) so install() can rebind it, "
+            "or pass this module to Interposer.wrap_module() after install",
+        ),
+        _spec(
+            "LDP106",
+            "open-aliasing",
+            Severity.WARN,
+            "a file object is constructed outside builtins.open",
+            "use builtins.open — it is rebound by install() and handles "
+            "PLFS descriptors — instead of os.fdopen/io.FileIO",
+        ),
+        _spec(
+            "LDP107",
+            "small-write-loop",
+            Severity.RECOMMEND,
+            "a loop issues fixed small writes (the BT regime)",
+            "deploy PLFS via LDPLFS (no code change needed): small strided "
+            "writes become buffered per-process log appends — the paper "
+            "measures up to ~20x in this regime",
+        ),
+        _spec(
+            "LDP108",
+            "seek-churn",
+            Severity.WARN,
+            "per-iteration seeks churn the emulated cursor",
+            "use positional I/O (os.pread/os.pwrite/os.preadv/os.pwritev — "
+            "all interposed) instead of seek+read/write pairs",
+        ),
+        _spec(
+            "LDP109",
+            "fd-leak",
+            Severity.WARN,
+            "a descriptor is opened but never closed",
+            "use 'with open(...)' or close explicitly; a PLFS index "
+            "dropping only reaches the backend at close/flush",
+        ),
+        _spec(
+            "LDP110",
+            "unbalanced-install",
+            Severity.HIGH,
+            "install() has no matching uninstall()",
+            "use 'with interposed(...)' for scoped activation, or pair "
+            "install() with uninstall() in a finally block",
+        ),
+        _spec(
+            "LDP111",
+            "syntax-error",
+            Severity.HIGH,
+            "the script cannot be parsed",
+            "fix the syntax error; nothing was analysed beyond it",
+        ),
+    ]
+}

@@ -1,0 +1,105 @@
+"""Deterministic rendering of lint results (text and canonical JSON).
+
+Same contract as :mod:`repro.insights.reporter`: the text report is for
+consoles, the JSON report goes through
+:func:`repro.analysis.export.canonical_json` so identical inputs produce
+byte-identical bytes — the property the golden-file tests assert.
+:func:`as_static_evidence` is the bridge into the runtime side: lint
+findings slot into an insights report (and the autotuner's explanation)
+as ``static`` evidence alongside the observed-run detectors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.export import canonical_json
+
+from .analyzer import SelfAudit
+from .findings import LintFinding, Severity, sort_findings
+
+
+def _severity_summary(findings: list[LintFinding]) -> str:
+    counts = {s: 0 for s in Severity}
+    for f in findings:
+        counts[f.severity] += 1
+    return ", ".join(
+        f"{counts[s]} {s.name}"
+        for s in sorted(Severity, reverse=True)
+        if counts[s]
+    )
+
+
+def render_findings(findings: list[LintFinding], target: str = "") -> str:
+    header = f"repro-lint — {target}" if target else "repro-lint"
+    if not findings:
+        return f"{header}\nno issues found — static analysis is clean"
+    blocks = [
+        header,
+        f"{len(findings)} finding(s): {_severity_summary(findings)}",
+        "",
+    ]
+    blocks.extend(f.render() for f in findings)
+    return "\n".join(blocks)
+
+
+def findings_to_dict(
+    findings: list[LintFinding], target: str = ""
+) -> dict:
+    counts = {s.name: 0 for s in Severity}
+    for f in findings:
+        counts[f.severity.name] += 1
+    return {
+        "target": target,
+        "finding_count": len(findings),
+        "severity_counts": {k: v for k, v in counts.items() if v},
+        "findings": [f.as_dict() for f in sort_findings(findings)],
+    }
+
+
+def findings_to_json(findings: list[LintFinding], target: str = "") -> str:
+    """Canonical JSON (byte-identical for identical findings)."""
+    return canonical_json(findings_to_dict(findings, target))
+
+
+def render_self_audit(audit: SelfAudit) -> str:
+    cov = audit.coverage
+    lines = [
+        "repro-lint self-audit — interposition coverage + shim concurrency",
+        (
+            f"  os surface: {len(cov.patched)} patched, "
+            f"{len(cov.acknowledged)} acknowledged passthrough, "
+            f"{len(cov.uncovered)} uncovered"
+        ),
+        (
+            f"  builtin surfaces: "
+            f"{', '.join(cov.builtin_covered) or '(none)'} rebound"
+        ),
+    ]
+    if cov.stale:
+        lines.append(f"  stale patches: {', '.join(cov.stale)}")
+    lines.append("-" * 72)
+    if audit.passed:
+        lines.append(
+            "PASS — every file-touching symbol is interposed or "
+            "acknowledged; all guarded-field contracts hold"
+        )
+    else:
+        lines.append(render_findings(audit.findings, target="self-audit"))
+        lines.append("FAIL")
+    return "\n".join(lines)
+
+
+def self_audit_to_dict(audit: SelfAudit) -> dict:
+    data = findings_to_dict(audit.findings, target="self-audit")
+    data["coverage"] = audit.coverage.as_dict()
+    data["passed"] = audit.passed
+    return data
+
+
+def self_audit_to_json(audit: SelfAudit) -> str:
+    return canonical_json(self_audit_to_dict(audit))
+
+
+def as_static_evidence(findings: list[LintFinding]) -> list[dict]:
+    """Lint findings shaped for the ``static`` section of an insights
+    report (see :func:`repro.insights.reporter.report_to_dict`)."""
+    return [f.as_dict() for f in sort_findings(findings)]

@@ -32,6 +32,9 @@ class Recommendation:
     #: insight findings from observed run data, when a profile was given —
     #: the detector evidence the explanation cites
     findings: list[Finding] = field(default_factory=list)
+    #: ahead-of-run lint findings (``repro.lint``), when supplied — the
+    #: static counterpart of the observed evidence
+    static_findings: list = field(default_factory=list)
 
     @property
     def speedup_vs_mpiio(self) -> float:
@@ -58,6 +61,7 @@ def choose_method(
     methods: list[AccessMethod] | None = None,
     *,
     profile: IORunProfile | None = None,
+    static_findings: list | None = None,
 ) -> Recommendation:
     """Recommend the fastest access route for the pattern.
 
@@ -65,7 +69,10 @@ def choose_method(
     observed run and the recommendation will also run the insights rule
     engine on it, citing the detector evidence in its explanation — the
     model says *what* to pick, the detectors say *why* the observed
-    behaviour supports it.
+    behaviour supports it.  Pass *static_findings* (from
+    :func:`repro.lint.lint_path` over the workload's script) and the
+    ahead-of-run evidence is cited the same way: the paper's §V.A
+    advisory, answered before the job is even submitted.
     """
     predictions = predict_all(machine, pattern, methods)
     best_name = max(predictions, key=lambda name: predictions[name].bandwidth_mbps)
@@ -114,12 +121,25 @@ def choose_method(
                 f"{top.title} ({cited})."
             )
 
+    static_findings = list(static_findings or [])
+    if static_findings:
+        top_static = max(
+            static_findings,
+            key=lambda f: (int(f.severity), f.rule),
+        )
+        explanation += (
+            f"  Static evidence [{top_static.severity.name}] "
+            f"{top_static.rule} {top_static.name} at "
+            f"{top_static.location()}: {top_static.detail}."
+        )
+
     return Recommendation(
         method=best,
         predictions=predictions,
         plfs_helps=plfs_helps,
         explanation=explanation,
         findings=findings,
+        static_findings=static_findings,
     )
 
 
@@ -127,6 +147,8 @@ def advise_from_profile(
     machine: MachineSpec,
     profile: IORunProfile,
     methods: list[AccessMethod] | None = None,
+    *,
+    static_findings: list | None = None,
 ) -> Recommendation:
     """Model recommendation driven by an *observed* run profile.
 
@@ -144,7 +166,13 @@ def advise_from_profile(
         write_size=max(profile.typical_write_size, 1.0),
         collective=profile.collective,
     )
-    return choose_method(machine, pattern, methods, profile=profile)
+    return choose_method(
+        machine,
+        pattern,
+        methods,
+        profile=profile,
+        static_findings=static_findings,
+    )
 
 
 def mds_safe_writer_limit(

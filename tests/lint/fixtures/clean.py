@@ -1,0 +1,19 @@
+"""A well-behaved LDPLFS workload: nothing for the linter to flag."""
+
+import os
+
+from repro.core.interpose import interposed
+
+
+def main():
+    payload = os.urandom(8 * 1024 * 1024)  # size not statically known
+    with interposed([("/mnt/plfs", "/tmp/backend")]):
+        with open("/mnt/plfs/checkpoint.dat", "wb") as fh:
+            fh.write(payload)
+        with open("/mnt/plfs/checkpoint.dat", "rb") as fh:
+            data = fh.read()
+    return len(data)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Anti-pattern: computing one descriptor from another."""
+
+import os
+
+
+def main():
+    fd = os.open("/tmp/scratch.dat", os.O_CREAT | os.O_WRONLY)
+    sibling = fd + 1  # assumes descriptor adjacency
+    os.close(fd)
+    return sibling
+
+
+if __name__ == "__main__":
+    main()

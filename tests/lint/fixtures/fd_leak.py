@@ -1,0 +1,10 @@
+"""Anti-pattern: opening a file and never closing it."""
+
+
+def main():
+    fh = open("/tmp/audit.log", "w")
+    fh.write("run started")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Anti-pattern: a second buffered owner for one descriptor."""
+
+import os
+
+
+def main():
+    fd = os.open("/tmp/log.txt", os.O_CREAT | os.O_WRONLY)
+    fh = os.fdopen(fd, "wb")
+    fh.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Anti-pattern: capturing POSIX entry points at import time."""
+
+from os import open as os_open, write as os_write  # noqa: F401
+
+
+def main():
+    pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Anti-pattern: mmap on a file under the PLFS mount."""
+
+import mmap
+
+
+def main():
+    with open("/mnt/plfs/state.bin", "r+b") as fh:
+        m = mmap.mmap(fh.fileno(), 0)
+        m[0:4] = b"HEAD"
+        m.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Anti-pattern: seeking before every access instead of positional I/O."""
+
+import os
+
+
+def main():
+    fd = os.open("/tmp/records.dat", os.O_RDONLY)
+    total = 0
+    for i in range(512):
+        os.lseek(fd, i * 65536, os.SEEK_SET)
+        total += len(os.read(fd, 4096))
+    os.close(fd)
+    return total
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Anti-pattern: the BT regime — fixed small writes in a loop."""
+
+import os
+
+RECORD = b"\x00" * 1640  # one BT solution element record
+
+
+def main():
+    fd = os.open("/mnt/plfs/bt.out", os.O_CREAT | os.O_WRONLY)
+    for _ in range(10000):
+        os.write(fd, RECORD)
+    os.close(fd)
+
+
+if __name__ == "__main__":
+    main()

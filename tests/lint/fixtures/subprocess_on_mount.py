@@ -1,0 +1,11 @@
+"""Anti-pattern: handing a logical mount path to a child process."""
+
+import subprocess
+
+
+def main():
+    subprocess.run(["gzip", "-9", "/mnt/plfs/results.dat"], check=True)
+
+
+if __name__ == "__main__":
+    main()

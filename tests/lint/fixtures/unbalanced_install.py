@@ -1,0 +1,13 @@
+"""Anti-pattern: install() without uninstall()."""
+
+from repro.core.interpose import install
+
+
+def main():
+    install([("/mnt/plfs", "/tmp/backend")])
+    with open("/mnt/plfs/out.dat", "wb") as fh:
+        fh.write(b"\x00" * (32 * 1024 * 1024))
+
+
+if __name__ == "__main__":
+    main()

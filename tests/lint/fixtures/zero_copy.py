@@ -1,0 +1,15 @@
+"""Anti-pattern: kernel zero-copy below the interposition layer."""
+
+import os
+
+
+def main():
+    src = os.open("/tmp/src.dat", os.O_RDONLY)
+    dst = os.open("/tmp/dst.dat", os.O_CREAT | os.O_WRONLY)
+    os.sendfile(dst, src, 0, 1 << 20)
+    os.close(src)
+    os.close(dst)
+
+
+if __name__ == "__main__":
+    main()
