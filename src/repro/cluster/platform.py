@@ -91,6 +91,11 @@ class MetadataService:
         #: cumulative service time spent on metadata operations, summed
         #: over the servers (for utilisation / bottleneck attribution)
         self.busy_seconds = 0.0
+        #: failure accounting (see :meth:`schedule_outage`)
+        self.outages = 0
+        self.outage_seconds = 0.0
+        self.ops_delayed_by_outage = 0
+        self._outage_active = False
 
     @property
     def longest_observed_queue(self) -> int:
@@ -99,6 +104,43 @@ class MetadataService:
     @property
     def peak_create_depth(self) -> int:
         return self._peak_create_depth
+
+    def schedule_outage(self, start: float, duration: float) -> None:
+        """Register a metadata-service outage: at simulated time *start*
+        every metadata server is seized for *duration* seconds.
+
+        Models an MDS failover window (or the recovery pause while a tool
+        like ``repro-fsck`` repairs on-disk state): in-flight operations
+        finish, newly arriving ones queue behind the outage and drain when
+        it lifts.  Operations arriving during the outage are counted in
+        :attr:`ops_delayed_by_outage`; the extra latency shows up in the
+        ordinary queueing accounting (``total_wait_time`` per server) and
+        in the run's elapsed time.
+        """
+        if start < 0 or duration <= 0:
+            raise ValueError("outage needs start >= 0 and duration > 0")
+        self.env.process(self._outage(start, duration))
+
+    def _outage(self, start: float, duration: float) -> Generator:
+        yield self.env.timeout(start)
+        self.outages += 1
+        self.outage_seconds += duration
+        self._outage_active = True
+        # Seize every server slot; in-flight operations complete first
+        # (FCFS), exactly like a failover that drains the request queue.
+        grants = [server.request() for server in self._servers]
+        for grant in grants:
+            yield grant
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self._outage_active = False
+            for server in self._servers:
+                server.release()
+
+    @property
+    def outage_active(self) -> bool:
+        return self._outage_active
 
     def op(self, kind: str, key: int = 0, *, heavy: bool = False) -> Generator:
         """Process: one metadata operation.
@@ -115,6 +157,8 @@ class MetadataService:
         while FLASH-IO's per-rank dropping creates melt the same server.
         """
         self.ops.hit(kind)
+        if self._outage_active:
+            self.ops_delayed_by_outage += 1
         server = self._servers[key % len(self._servers)]
         depth = server.queue_length
         if depth > self._longest_queue:
@@ -293,6 +337,9 @@ class Platform:
             "mds_busy_seconds": self.mds.busy_seconds,
             "mds_utilisation": self.mds.utilisation(horizon),
             "mds_count": self.perf.mds_count,
+            "mds_outages": self.mds.outages,
+            "mds_outage_seconds": self.mds.outage_seconds,
+            "mds_ops_delayed_by_outage": self.mds.ops_delayed_by_outage,
             "shared_lock_wait_seconds": self.shared_lock_wait_seconds(),
             "nic_utilisation_mean": (
                 sum(p.utilisation(horizon) for p in self._nics.values())

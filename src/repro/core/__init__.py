@@ -27,7 +27,7 @@ from .interpose import (
     uninstall,
 )
 from .mounts import Mount, MountTable
-from .shim import RealOS, Shim
+from .shim import RealOS, RetryPolicy, Shim
 from .trace import FileStats, TraceReport, Tracer, traced
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "MountTable",
     "Shim",
     "RealOS",
+    "RetryPolicy",
     "FdTable",
     "FdEntry",
     "ENV_PRELOAD",

@@ -82,15 +82,21 @@ class FdTable:
 
     def insert(self, plfs_fd: Plfs_fd, flags: int, logical_path: str) -> FdEntry:
         fd = self._open_shadow_fd()
-        entry = FdEntry(
-            fd=fd,
-            plfs_fd=plfs_fd,
-            flags=flags,
-            logical_path=logical_path,
-            append=bool(flags & os.O_APPEND),
-        )
-        with self._lock:
-            self._entries[fd] = entry
+        try:
+            entry = FdEntry(
+                fd=fd,
+                plfs_fd=plfs_fd,
+                flags=flags,
+                logical_path=logical_path,
+                append=bool(flags & os.O_APPEND),
+            )
+            with self._lock:
+                self._entries[fd] = entry
+        except Exception:
+            # Never strand the reserved descriptor if registration fails;
+            # the caller still owns (and must release) the Plfs_fd.
+            self._real.close(fd)
+            raise
         return entry
 
     def lookup(self, fd: int) -> FdEntry | None:

@@ -15,7 +15,8 @@ import errno
 import io
 import os
 import stat as stat_module
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.plfs import api as plfs_api
 from repro.plfs.container import is_container, readdir_logical, rmdir_logical
@@ -120,6 +121,37 @@ class RealOS:
         )
 
 
+@dataclass
+class RetryPolicy:
+    """Transparent retry for transient I/O failures at the shim boundary.
+
+    POSIX lets ``read``/``write`` fail with ``EINTR``/``EAGAIN`` or return
+    short; well-written applications loop, but the whole premise of LDPLFS
+    is running applications *unmodified* — so the shim absorbs what the
+    application would not.  Interrupted calls are retried with exponential
+    backoff (capped), and short writes are resumed until the buffer is
+    fully written or a non-transient error surfaces.
+
+    ``sleep`` is injectable so tests can assert the backoff sequence
+    without waiting it out.
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.1
+    transient_errnos: frozenset = frozenset({errno.EINTR, errno.EAGAIN})
+    sleep: callable = field(default=time.sleep, repr=False)
+
+    def delays(self) -> list[float]:
+        """The backoff schedule (one delay per retry, not per attempt)."""
+        out, delay = [], self.backoff_base
+        for _ in range(self.max_attempts - 1):
+            out.append(delay)
+            delay = min(delay * self.backoff_factor, self.backoff_max)
+        return out
+
+
 def _enoent(path) -> OSError:
     return FileNotFoundError(errno.ENOENT, os.strerror(errno.ENOENT), path)
 
@@ -139,12 +171,72 @@ def _exdev(src, dst) -> OSError:
 class Shim:
     """Implements every interposed call against one mount table."""
 
-    def __init__(self, mount_table: MountTable, real: RealOS | None = None):
+    def __init__(
+        self,
+        mount_table: MountTable,
+        real: RealOS | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.mounts = mount_table
         self.real = real or RealOS.snapshot()
         self.table = FdTable(self.real)
+        #: transient-error absorption for PLFS-bound I/O; pass a policy to
+        #: tune it (a default one is always on: unmodified applications do
+        #: not loop on EINTR themselves)
+        self.retry = retry or RetryPolicy()
         #: counters used by tests and the overhead benchmarks
-        self.stats = {"plfs_calls": 0, "passthrough_calls": 0}
+        self.stats = {
+            "plfs_calls": 0,
+            "passthrough_calls": 0,
+            "transient_retries": 0,
+            "short_write_resumes": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # transient-error absorption
+    # ------------------------------------------------------------------ #
+
+    def _with_retry(self, fn):
+        """Run *fn*, retrying transient OSErrors per the policy."""
+        policy = self.retry
+        delay = policy.backoff_base
+        for attempt in range(policy.max_attempts):
+            try:
+                return fn()
+            except OSError as exc:
+                if (
+                    exc.errno not in policy.transient_errnos
+                    or attempt == policy.max_attempts - 1
+                ):
+                    raise
+                self.stats["transient_retries"] += 1
+                policy.sleep(delay)
+                delay = min(delay * policy.backoff_factor, policy.backoff_max)
+
+    def _write_fully(self, plfs_fd, data, offset) -> int:
+        """plfs_write with transient retry *and* short-write resumption:
+        the application's single call either writes everything or raises."""
+        view = memoryview(data)
+        if len(view) == 0:
+            return self._with_retry(
+                lambda: plfs_api.plfs_write(plfs_fd, b"", 0, offset)
+            )
+        total = 0
+        while total < len(view):
+            chunk = view[total:]
+            at = offset + total
+            n = self._with_retry(
+                lambda: plfs_api.plfs_write(plfs_fd, chunk, len(chunk), at)
+            )
+            if n <= 0:  # pragma: no cover - defensive: no-progress guard
+                break
+            total += n
+            if total < len(view):
+                self.stats["short_write_resumes"] += 1
+        return total
+
+    def _read_retry(self, plfs_fd, n, offset) -> bytes:
+        return self._with_retry(lambda: plfs_api.plfs_read(plfs_fd, n, offset))
 
     # ------------------------------------------------------------------ #
     # resolution helpers
@@ -192,7 +284,13 @@ class Shim:
             plfs_fd = plfs_api.plfs_open(backend, flags, os.getpid(), mode & 0o777)
         except PlfsError as exc:
             raise type(exc)(str(exc.args[1] if len(exc.args) > 1 else exc), exc.errno) from None
-        entry = self.table.insert(plfs_fd, flags, os.fspath(path))
+        try:
+            entry = self.table.insert(plfs_fd, flags, os.fspath(path))
+        except Exception:
+            # A failed open must not leak the PLFS handle: release the
+            # writer's droppings and the openhost marker before re-raising.
+            plfs_api.plfs_close(plfs_fd)
+            raise
         return entry.fd
 
     def close(self, fd):
@@ -245,7 +343,7 @@ class Shim:
         if not entry.readable:
             raise OSError(errno.EBADF, os.strerror(errno.EBADF))
         cursor = self.table.tell(entry)
-        data = plfs_api.plfs_read(entry.plfs_fd, n, cursor)
+        data = self._read_retry(entry.plfs_fd, n, cursor)
         if data:
             self.table.advance(entry, len(data))
         return data
@@ -263,7 +361,7 @@ class Shim:
         else:
             offset = self.table.tell(entry)
         data = bytes(data) if isinstance(data, memoryview) else data
-        n = plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset)
+        n = self._write_fully(entry.plfs_fd, data, offset)
         self.table.set_cursor(entry, offset + n)
         return n
 
@@ -291,7 +389,7 @@ class Shim:
         total = 0
         for buf in buffers:
             view = memoryview(buf)
-            data = plfs_api.plfs_read(entry.plfs_fd, len(view), offset + total)
+            data = self._read_retry(entry.plfs_fd, len(view), offset + total)
             n = len(data)
             view[:n] = data
             total += n
@@ -303,9 +401,9 @@ class Shim:
         total = 0
         for buf in buffers:
             data = bytes(buf)
-            n = plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset + total)
+            n = self._write_fully(entry.plfs_fd, data, offset + total)
             total += n
-            if n < len(data):  # pragma: no cover - plfs_write is all-or-raise
+            if n < len(data):  # pragma: no cover - _write_fully completes
                 break
         return total
 
@@ -373,7 +471,7 @@ class Shim:
         self._count(True)
         if not entry.readable:
             raise OSError(errno.EBADF, os.strerror(errno.EBADF))
-        return plfs_api.plfs_read(entry.plfs_fd, n, offset)
+        return self._read_retry(entry.plfs_fd, n, offset)
 
     def pwrite(self, fd, data, offset):
         entry = self.table.lookup(fd)
@@ -387,7 +485,7 @@ class Shim:
         # POSIX semantics: pwrite honours the explicit offset even with
         # O_APPEND (we do not copy Linux's deviation) and never moves the
         # cursor.
-        return plfs_api.plfs_write(entry.plfs_fd, data, len(data), offset)
+        return self._write_fully(entry.plfs_fd, data, offset)
 
     # ------------------------------------------------------------------ #
     # fd metadata

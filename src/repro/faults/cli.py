@@ -1,0 +1,101 @@
+"""``repro-fsck`` — check and repair PLFS containers from the shell.
+
+Usage::
+
+    repro-fsck [--dry-run] [--json] CONTAINER [CONTAINER ...]
+    repro-fsck [--dry-run] [--json] --scan BACKEND_DIR
+
+``--scan`` walks a backend directory tree and repairs every container it
+finds.  Exit status: 0 — every container clean or fully recovered;
+1 — repairs left unrecoverable losses (reported) or a container is still
+broken; 2 — usage error / path is not a container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.plfs.container import is_container
+from repro.plfs.errors import PlfsError
+
+from .fsck import fsck
+
+
+def scan_containers(root: str) -> list[str]:
+    """All container paths under *root* (not descending into containers:
+    their internals are droppings, not files)."""
+    found: list[str] = []
+    for dirpath, dirnames, _ in os.walk(root):
+        if is_container(dirpath):
+            found.append(dirpath)
+            dirnames[:] = []
+    return sorted(found)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fsck",
+        description="check and repair PLFS containers (plfs_recover analogue)",
+    )
+    parser.add_argument("paths", nargs="*", help="container paths to repair")
+    parser.add_argument(
+        "--scan",
+        metavar="DIR",
+        help="walk DIR and repair every container found",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report repairs and verdicts without touching anything",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON report per container",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if bool(args.paths) == bool(args.scan):
+        print(
+            "repro-fsck: give container paths or --scan DIR (not both, not neither)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.scan:
+        if not os.path.isdir(args.scan):
+            print(f"repro-fsck: no such directory: {args.scan}", file=sys.stderr)
+            return 2
+        targets = scan_containers(args.scan)
+        if not targets:
+            print(f"repro-fsck: no containers under {args.scan}", file=sys.stderr)
+            return 0
+    else:
+        targets = args.paths
+
+    worst = 0
+    reports = []
+    for path in targets:
+        try:
+            report = fsck(path, dry_run=args.dry_run)
+        except (PlfsError, FileNotFoundError) as exc:
+            print(f"repro-fsck: {path}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        if not args.json:
+            print(report.render())
+        if not report.ok:
+            worst = 1
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    return worst
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""``repro-fsck``: repair a PLFS container after a crash or backend damage.
+
+The Python analogue of the C distribution's ``plfs_recover``, extended for
+the write-ahead index.  Repairs are ordered so each step only ever sees
+state the previous steps made consistent:
+
+1. restore missing skeleton directories (``openhosts/``, ``meta/``);
+2. per data dropping, make its index authoritative again:
+
+   - a surviving write-ahead dropping is a superset of the flushed index
+     (records are written ahead of every data append and only deleted on
+     clean close), so the index is **rebuilt** from the WAL's whole-record
+     prefix, clipped to the bytes the data dropping physically holds;
+   - otherwise a torn index dropping is truncated to its last whole
+     record, and any unindexed data tail is trimmed and reported
+     **unrecoverable** (nothing on disk maps those bytes to logical
+     offsets);
+   - a data dropping with no index and no WAL is quarantined (renamed out
+     of the data namespace) and reported unrecoverable;
+
+3. orphan index droppings (index without data) are deleted;
+4. stale openhost markers are cleared (fsck runs offline, like the C
+   tool);
+5. the cached-size metadata is rebuilt from the repaired global index;
+6. a final :func:`~repro.plfs.tools.plfs_check` verifies the result.
+
+``dry_run`` records every action and verdict without touching the
+container.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.plfs import constants, util
+from repro.plfs.container import Container, assert_container
+from repro.plfs.index import (
+    clip_to_physical,
+    load_global_index,
+    pack_records,
+    split_torn,
+)
+from repro.plfs.tools import ContainerReport, plfs_check
+
+#: prefix quarantined (orphaned) data droppings are renamed under, taking
+#: them out of the ``dropping.data.`` namespace the reader enumerates
+QUARANTINE_PREFIX = "quarantine."
+
+
+@dataclass(frozen=True)
+class FsckAction:
+    """One repair performed (or, under ``dry_run``, proposed)."""
+
+    kind: str
+    path: str
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.kind:24s} {self.path}: {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one container's fsck."""
+
+    path: str
+    dry_run: bool = False
+    actions: list[FsckAction] = field(default_factory=list)
+    #: losses with no on-disk recovery path — the "detected, reported
+    #: verdict" the fault matrix requires for non-recoverable faults
+    unrecoverable: list[str] = field(default_factory=list)
+    rebuilt_indexes: int = 0
+    clipped_bytes: int = 0
+    trimmed_bytes: int = 0
+    quarantined_bytes: int = 0
+    check: ContainerReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Fully recovered: container consistent and nothing was lost."""
+        return (
+            not self.unrecoverable
+            and self.check is not None
+            and self.check.ok
+        )
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.actions)
+
+    def act(self, kind: str, path: str, detail: str) -> None:
+        self.actions.append(FsckAction(kind, path, detail))
+
+    def lose(self, message: str) -> None:
+        self.unrecoverable.append(message)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "dry_run": self.dry_run,
+            "ok": self.ok,
+            "actions": [
+                {"kind": a.kind, "path": a.path, "detail": a.detail}
+                for a in self.actions
+            ],
+            "unrecoverable": list(self.unrecoverable),
+            "rebuilt_indexes": self.rebuilt_indexes,
+            "clipped_bytes": self.clipped_bytes,
+            "trimmed_bytes": self.trimmed_bytes,
+            "quarantined_bytes": self.quarantined_bytes,
+            "check_ok": None if self.check is None else self.check.ok,
+            "check_problems": [] if self.check is None else list(self.check.problems),
+        }
+
+    def render(self) -> str:
+        lines = [f"fsck      : {self.path} {'(dry run)' if self.dry_run else ''}".rstrip()]
+        for a in self.actions:
+            lines.append(f"  {a.render()}")
+        for u in self.unrecoverable:
+            lines.append(f"  UNRECOVERABLE            {u}")
+        if not self.actions and not self.unrecoverable:
+            lines.append("  clean: nothing to repair")
+        if self.check is not None:
+            lines.append(
+                f"result    : {'OK' if self.ok else 'LOSSY' if self.check.ok else 'BROKEN'}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+
+
+def _rel(container_path: str, path: str) -> str:
+    return os.path.relpath(path, container_path)
+
+
+def _repair_dropping(
+    report: FsckReport,
+    container_path: str,
+    hostdir: str,
+    data_name: str,
+    *,
+    dry_run: bool,
+) -> None:
+    """Make one data dropping's index authoritative (step 2 above)."""
+    data_path = os.path.join(hostdir, data_name)
+    index_path = os.path.join(hostdir, util.index_name_for_data(data_name))
+    wal_path = os.path.join(hostdir, util.wal_name_for_data(data_name))
+    data_size = os.path.getsize(data_path)
+    rel_data = _rel(container_path, data_path)
+
+    if os.path.exists(wal_path):
+        with open(wal_path, "rb") as fh:
+            raw = fh.read()
+        records, torn = split_torn(raw)
+        clipped, lost = clip_to_physical(records, data_size)
+        detail = (
+            f"rebuilt {clipped.shape[0]} record(s) from write-ahead index"
+        )
+        if torn:
+            detail += f", discarded {torn} torn WAL byte(s)"
+        if lost:
+            detail += f", clipped {lost} promised byte(s) that never landed"
+        report.act("rebuild-index", rel_data, detail)
+        report.rebuilt_indexes += 1
+        report.clipped_bytes += lost
+        if not dry_run:
+            with open(index_path, "wb") as fh:
+                fh.write(pack_records(clipped))
+            os.unlink(wal_path)
+        # The clipped WAL byte(s) were never acknowledged to the writer —
+        # clipping is reconciliation, not loss; no unrecoverable verdict.
+        return
+
+    if not os.path.exists(index_path):
+        quarantine = os.path.join(hostdir, QUARANTINE_PREFIX + data_name)
+        report.act(
+            "quarantine-orphan",
+            rel_data,
+            f"{data_size} data byte(s) have no index and no write-ahead "
+            f"index; moved to {os.path.basename(quarantine)}",
+        )
+        report.quarantined_bytes += data_size
+        report.lose(
+            f"{data_size} byte(s) in {rel_data}: no surviving record maps "
+            "them to logical offsets"
+        )
+        if not dry_run:
+            os.rename(data_path, quarantine)
+        return
+
+    with open(index_path, "rb") as fh:
+        raw = fh.read()
+    records, torn = split_torn(raw)
+    if torn:
+        report.act(
+            "truncate-torn-index",
+            _rel(container_path, index_path),
+            f"dropped {torn} trailing byte(s) of a partial record",
+        )
+        report.lose(
+            f"{torn} torn byte(s) in {_rel(container_path, index_path)}: "
+            "the interrupted flush's remaining records died with the writer"
+        )
+    clipped, lost = clip_to_physical(records, data_size)
+    if lost or (torn and not dry_run):
+        if lost:
+            report.act(
+                "clip-index",
+                _rel(container_path, index_path),
+                f"clipped {lost} promised byte(s) past the data dropping's end",
+            )
+            report.clipped_bytes += lost
+        if not dry_run:
+            with open(index_path, "wb") as fh:
+                fh.write(pack_records(clipped))
+
+    indexed_end = 0
+    if clipped.shape[0]:
+        indexed_end = int((clipped["physical_offset"] + clipped["length"]).max())
+    if data_size > indexed_end:
+        stranded = data_size - indexed_end
+        report.act(
+            "trim-unindexed-tail",
+            rel_data,
+            f"trimmed {stranded} data byte(s) no index record covers",
+        )
+        report.trimmed_bytes += stranded
+        report.lose(
+            f"{stranded} unindexed byte(s) in {rel_data}: the writer died "
+            "between the data append and the index flush, and no "
+            "write-ahead index was enabled"
+        )
+        if not dry_run:
+            with open(data_path, "ab") as fh:
+                fh.truncate(indexed_end)
+
+
+def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
+    """Repair the container at *path*; see the module docstring for the
+    repair sequence.  Read-only when *dry_run*."""
+    assert_container(path)
+    container = Container(path)
+    report = FsckReport(path=os.path.abspath(path), dry_run=dry_run)
+
+    # 1. skeleton
+    missing = [
+        name
+        for name in (constants.OPENHOSTS_DIR, constants.META_DIR)
+        if not os.path.isdir(os.path.join(path, name))
+    ]
+    if missing:
+        report.act("restore-skeleton", path, f"recreated {', '.join(missing)}")
+        if not dry_run:
+            container.restore_skeleton()
+
+    # 2. per-dropping index repair
+    for hostdir in container.hostdirs():
+        for name in sorted(os.listdir(hostdir)):
+            if name.startswith(constants.DATA_PREFIX):
+                _repair_dropping(
+                    report, container.path, hostdir, name, dry_run=dry_run
+                )
+
+    # 3. orphan index droppings (index without data)
+    for hostdir in container.hostdirs():
+        for name in sorted(os.listdir(hostdir)):
+            if not name.startswith(constants.INDEX_PREFIX):
+                continue
+            data_name = constants.DATA_PREFIX + name[len(constants.INDEX_PREFIX):]
+            if not os.path.exists(os.path.join(hostdir, data_name)):
+                report.act(
+                    "drop-orphan-index",
+                    _rel(container.path, os.path.join(hostdir, name)),
+                    "index dropping has no data dropping",
+                )
+                if not dry_run:
+                    os.unlink(os.path.join(hostdir, name))
+        # leftover WALs whose data dropping vanished entirely
+        for name in sorted(os.listdir(hostdir)):
+            if not name.startswith(constants.WAL_PREFIX):
+                continue
+            data_name = constants.DATA_PREFIX + name[len(constants.WAL_PREFIX):]
+            if not os.path.exists(os.path.join(hostdir, data_name)):
+                report.act(
+                    "drop-orphan-wal",
+                    _rel(container.path, os.path.join(hostdir, name)),
+                    "write-ahead dropping has no data dropping",
+                )
+                if not dry_run:
+                    os.unlink(os.path.join(hostdir, name))
+
+    # 4. stale openhost markers
+    for marker in container.open_writers():
+        report.act(
+            "clear-openhost",
+            os.path.join(constants.OPENHOSTS_DIR, marker),
+            "stale marker (fsck runs offline; no writer can be live)",
+        )
+        if not dry_run:
+            try:
+                os.unlink(os.path.join(path, constants.OPENHOSTS_DIR, marker))
+            except FileNotFoundError:
+                pass
+
+    # 5. rebuild cached metadata from the repaired index
+    if not dry_run:
+        index, _ = load_global_index(container.droppings())
+        container.clear_meta()
+        physical = container.physical_bytes()
+        if physical or index.logical_size:
+            container.drop_meta(index.logical_size, physical)
+        if report.repaired:
+            report.act(
+                "rebuild-meta",
+                constants.META_DIR,
+                f"cached size {index.logical_size} from the repaired index",
+            )
+
+    # 6. verify
+    report.check = plfs_check(path)
+    return report

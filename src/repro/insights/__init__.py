@@ -14,7 +14,12 @@ phenomena, and renders deterministic text/JSON advisory reports.
 - :mod:`repro.insights.cli` — the ``repro-insights`` console entry point
 """
 
-from .metrics import IORunProfile, profile_from_run, profile_from_trace
+from .metrics import (
+    IORunProfile,
+    attach_fault_evidence,
+    profile_from_run,
+    profile_from_trace,
+)
 from .reporter import (
     render_findings,
     render_profile,
@@ -26,6 +31,7 @@ from .rules import ALL_RULES, Finding, Severity, run_rules, validate_thresholds
 
 __all__ = [
     "IORunProfile",
+    "attach_fault_evidence",
     "profile_from_run",
     "profile_from_trace",
     "Finding",

@@ -99,6 +99,16 @@ class IORunProfile:
     io_servers: int = 0
     server_concurrency: int = 1
 
+    # fault / degradation evidence (repro.faults, shim retry policy,
+    # simulated MDS outages)
+    injected_faults: int = 0
+    fault_points: dict[str, int] = field(default_factory=dict)
+    transient_retries: int = 0
+    short_write_resumes: int = 0
+    mds_outages: int = 0
+    mds_outage_seconds: float = 0.0
+    mds_ops_delayed_by_outage: int = 0
+
     # trace-only bookkeeping
     buffered_opaque_files: int = 0
     files: list[dict] = field(default_factory=list)
@@ -157,9 +167,48 @@ class IORunProfile:
             "index_rebuild_ops": self.index_rebuild_ops,
             "lock_wait_share": self.lock_wait_share,
             "io_servers": self.io_servers,
+            "injected_faults": self.injected_faults,
+            "fault_points": self.fault_points,
+            "transient_retries": self.transient_retries,
+            "short_write_resumes": self.short_write_resumes,
+            "mds_outages": self.mds_outages,
+            "mds_outage_seconds": self.mds_outage_seconds,
+            "mds_ops_delayed_by_outage": self.mds_ops_delayed_by_outage,
             "buffered_opaque_files": self.buffered_opaque_files,
             "write_bandwidth_mbps": self.write_bandwidth_mbps,
         }
+
+
+def attach_fault_evidence(
+    profile: IORunProfile,
+    *,
+    events=None,
+    shim_stats: dict | None = None,
+) -> IORunProfile:
+    """Fold fault evidence into *profile* (returns it for chaining).
+
+    *events* is an iterable of fired fault events (anything with ``point``
+    attributes — e.g. :class:`repro.faults.injector.FaultEvent`); the
+    injection points are tallied into ``fault_points``.  *shim_stats* is a
+    :class:`~repro.core.shim.Shim`'s ``stats`` dict, contributing the
+    retry-policy counters.  Kept decoupled from :mod:`repro.faults` so
+    insights never imports the injection machinery.
+    """
+    if events is not None:
+        points: dict[str, int] = dict(profile.fault_points)
+        count = 0
+        for event in events:
+            point = getattr(event, "point", None) or str(event)
+            points[point] = points.get(point, 0) + 1
+            count += 1
+        profile.fault_points = points
+        profile.injected_faults += count
+    if shim_stats:
+        profile.transient_retries += int(shim_stats.get("transient_retries", 0))
+        profile.short_write_resumes += int(
+            shim_stats.get("short_write_resumes", 0)
+        )
+    return profile
 
 
 # ---------------------------------------------------------------------- #
@@ -284,6 +333,11 @@ def profile_from_run(
         lock_wait_share=lock_wait_share,
         io_servers=int(report.get("io_servers", machine.io_servers)),
         server_concurrency=perf.server_concurrency,
+        mds_outages=int(report.get("mds_outages", 0)),
+        mds_outage_seconds=float(report.get("mds_outage_seconds", 0.0)),
+        mds_ops_delayed_by_outage=int(
+            report.get("mds_ops_delayed_by_outage", 0)
+        ),
     )
 
 

@@ -434,8 +434,65 @@ def detect_stream_overprovision(p: IORunProfile) -> Optional[Finding]:
     )
 
 
+def detect_fault_degraded_run(p: IORunProfile) -> Optional[Finding]:
+    """The run ran degraded: injected faults fired, the shim's retry
+    policy absorbed transient errors, or a metadata-service outage stalled
+    the run.  Cites the fault evidence so the reader can separate "the
+    storage was sick" from "the access pattern was wrong"."""
+    if (
+        p.injected_faults == 0
+        and p.transient_retries == 0
+        and p.short_write_resumes == 0
+        and p.mds_outage_seconds == 0
+    ):
+        return None
+    degraded_hard = bool(p.injected_faults or p.mds_outage_seconds)
+    severity = Severity.WARN if degraded_hard else Severity.INFO
+    pieces = []
+    if p.injected_faults:
+        per_point = ", ".join(
+            f"{n}x {point}" for point, n in sorted(p.fault_points.items())
+        )
+        pieces.append(
+            f"{p.injected_faults} fault(s) fired ({per_point or 'unattributed'})"
+        )
+    if p.transient_retries or p.short_write_resumes:
+        pieces.append(
+            f"the shim retried {p.transient_retries} transient error(s) and "
+            f"resumed {p.short_write_resumes} short write(s)"
+        )
+    if p.mds_outage_seconds:
+        pieces.append(
+            f"{p.mds_outages} MDS outage(s) totalling "
+            f"{p.mds_outage_seconds:.1f}s delayed "
+            f"{p.mds_ops_delayed_by_outage} metadata op(s)"
+        )
+    return Finding(
+        rule="fault-degraded-run",
+        severity=severity,
+        title="the run was degraded by storage faults",
+        detail="; ".join(pieces) + ".",
+        recommendation=(
+            "treat this run's bandwidth as a lower bound, not a pattern "
+            "diagnosis; run repro-fsck on containers touched by crashed "
+            "writers, and open writers with write_ahead_index if torn "
+            "writes must stay recoverable"
+        ),
+        evidence={
+            "injected_faults": p.injected_faults,
+            "fault_points": dict(p.fault_points),
+            "transient_retries": p.transient_retries,
+            "short_write_resumes": p.short_write_resumes,
+            "mds_outages": p.mds_outages,
+            "mds_outage_seconds": p.mds_outage_seconds,
+            "mds_ops_delayed_by_outage": p.mds_ops_delayed_by_outage,
+        },
+    )
+
+
 #: registration order is the tiebreak for equal-severity findings
 ALL_RULES: list[Detector] = [
+    detect_fault_degraded_run,
     detect_mds_create_storm,
     detect_small_writes_shared_file,
     detect_shared_file_lock_serialisation,

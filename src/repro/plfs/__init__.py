@@ -13,6 +13,28 @@ Quick use::
     fd = plfs.plfs_open("/tmp/backend/myfile", os.O_CREAT | os.O_WRONLY)
     plfs.plfs_write(fd, b"hello", 5, offset=0)
     plfs.plfs_close(fd)
+
+Recovery invariant
+------------------
+
+Crash consistency rests on one ordering rule per dropping stream:
+
+* **Without a write-ahead index** (the default), data bytes reach the
+  data dropping before their index records reach the index dropping, so
+  a crash can strand a *suffix* of unindexed data bytes.  Indexed
+  content is never damaged — ``repro-fsck`` truncates any torn index
+  tail to the last whole record and the container reads back exactly
+  the prefix that was indexed; the stranded bytes are reported as
+  unrecoverable (there is no record of their logical offsets).
+* **With a write-ahead index** (``OpenOptions(write_ahead_index=True)``),
+  every record is persisted to a sibling ``dropping.wal.*`` file
+  *before* its data append, and the WAL is deleted only on clean close.
+  After any single crash, ``repro-fsck`` rebuilds the index dropping
+  from the WAL, clipping each record to the bytes the data dropping
+  physically holds — reads then return byte-identical content to what
+  the surviving data droppings actually stored.
+
+See :mod:`repro.faults` for the fault matrix and the fsck implementation.
 """
 
 from .api import (

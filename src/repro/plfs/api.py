@@ -37,6 +37,10 @@ class OpenOptions:
     buffer_index: bool = True
     #: number of hostdir buckets for new containers
     num_hostdirs: int = constants.NUM_HOSTDIRS
+    #: persist every index record to a write-ahead dropping before its data
+    #: append, making a crashed writer's index rebuildable by ``repro-fsck``
+    #: at the cost of one small sequential write per call
+    write_ahead_index: bool = False
 
 
 @dataclass
@@ -128,8 +132,16 @@ def plfs_open(
 
     fd = Plfs_fd(container=container, flags=flags, pid=pid)
     if fd.writable:
-        fd.writer = WriteFile(container)
-        container.register_open(pid)
+        wal = bool(open_opt and open_opt.write_ahead_index)
+        fd.writer = WriteFile(container, wal=wal)
+        try:
+            container.register_open(pid)
+        except OSError:
+            # Failed open must not leak the writer's droppings/descriptors
+            # or leave the container looking half-open.
+            fd.writer.abandon()
+            fd.writer = None
+            raise
     return fd
 
 
@@ -267,9 +279,10 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
 
     if offset == 0:
         if fd is not None and fd.writer is not None:
+            wal = fd.writer.wal
             fd.writer.close()
             container.wipe_data()
-            fd.writer = WriteFile(container)
+            fd.writer = WriteFile(container, wal=wal)
         else:
             container.wipe_data()
         if fd is not None:
@@ -294,9 +307,10 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
     # writer must be recycled: its droppings are replaced by the compaction
     # and its high-water mark would otherwise report the pre-shrink size.
     if fd is not None and fd.writer is not None:
+        wal = fd.writer.wal
         fd.writer.close()
         plfs_flatten_index(path, clip=offset)
-        fd.writer = WriteFile(container)
+        fd.writer = WriteFile(container, wal=wal)
     else:
         plfs_flatten_index(path, clip=offset)
     if fd is not None:

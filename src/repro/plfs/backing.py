@@ -1,0 +1,73 @@
+"""Backing-store indirection: the PLFS library's persistence surface.
+
+Every byte the PLFS implementation persists — data-dropping appends,
+index-dropping flushes, write-ahead index records, meta droppings — flows
+through the :class:`BackingStore` installed here.  The default store calls
+straight into ``os``; the fault-injection layer (:mod:`repro.faults`)
+installs a wrapping store that can drop, shorten, tear or error any of
+these operations deterministically, which is how the crash-consistency
+suite drives every fault in the matrix without patching library internals.
+
+The indirection is deliberately narrow: only operations whose *failure
+mid-flight* leaves a container in a state ``repro-fsck`` must reason about
+are routed here.  Reads, directory listings and unlinks stay direct — a
+failed read corrupts nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+class BackingStore:
+    """Default persistence operations (direct ``os`` calls).
+
+    Subclass and :func:`install` to interpose.  Each method carries the
+    *path* of the file being touched purely as context for wrappers; the
+    default implementations ignore it.
+    """
+
+    def write_data(self, fd: int, buf, path: str) -> int:
+        """Append *buf* to an open data dropping; returns bytes written."""
+        return os.write(fd, buf)
+
+    def append_index(self, path: str, payload: bytes) -> int:
+        """Append packed index records to an index dropping."""
+        with open(path, "ab") as fh:
+            return fh.write(payload)
+
+    def write_wal(self, fd: int, payload: bytes, path: str) -> int:
+        """Append one packed record to a write-ahead index dropping."""
+        return os.write(fd, payload)
+
+    def create_meta(self, path: str) -> None:
+        """Create one (empty) meta dropping."""
+        with open(path, "w"):
+            pass
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+
+_lock = threading.Lock()
+_current = BackingStore()
+
+
+def current() -> BackingStore:
+    """The installed backing store (default: direct ``os`` calls)."""
+    return _current
+
+
+def install(store: BackingStore) -> BackingStore:
+    """Install *store*, returning the previously installed one."""
+    global _current
+    with _lock:
+        previous = _current
+        _current = store
+        return previous
+
+
+def reset() -> BackingStore:
+    """Restore the default store (used by test teardown)."""
+    return install(BackingStore())

@@ -15,7 +15,7 @@ import shutil
 import stat as stat_module
 from dataclasses import dataclass
 
-from . import constants, util
+from . import backing, constants, util
 from .errors import (
     ContainerExistsError,
     ContainerNotFoundError,
@@ -154,6 +154,47 @@ class Container:
                     pairs.append((index_path, data_path))
         return pairs
 
+    def hostdirs(self) -> list[str]:
+        """Paths of the container's existing ``hostdir.N`` buckets."""
+        try:
+            entries = sorted(os.listdir(self.path))
+        except FileNotFoundError:
+            return []
+        out = []
+        for entry in entries:
+            if entry.startswith(constants.HOSTDIR_PREFIX):
+                p = os.path.join(self.path, entry)
+                if os.path.isdir(p):
+                    out.append(p)
+        return out
+
+    def wal_droppings(self) -> list[str]:
+        """Write-ahead index droppings left behind by crashed (or still
+        running) WAL-enabled writers, deterministically ordered."""
+        out: list[str] = []
+        for hostdir in self.hostdirs():
+            for name in sorted(os.listdir(hostdir)):
+                if name.startswith(constants.WAL_PREFIX):
+                    out.append(os.path.join(hostdir, name))
+        return out
+
+    def restore_skeleton(self) -> list[str]:
+        """Recreate missing skeleton entries (``openhosts/``, ``meta/``).
+
+        A backend directory losing metadata (the dropped-``hostdir.N``
+        failure class) can take the bookkeeping directories with it; they
+        carry no unrecoverable state, so recovery is recreation.  Returns
+        the restored relative names.
+        """
+        assert_container(self.path)
+        restored = []
+        for name in (constants.OPENHOSTS_DIR, constants.META_DIR):
+            p = os.path.join(self.path, name)
+            if not os.path.isdir(p):
+                os.makedirs(p, exist_ok=True)
+                restored.append(name)
+        return restored
+
     def physical_bytes(self) -> int:
         """Total bytes stored in data droppings (>= logical size when there
         are overwrites; the gap measures log garbage)."""
@@ -200,8 +241,7 @@ class Container:
         d = os.path.join(self.path, constants.META_DIR)
         os.makedirs(d, exist_ok=True)
         name = f"{last_offset}.{total_bytes}.{host}"
-        with open(os.path.join(d, name), "w"):
-            pass
+        backing.current().create_meta(os.path.join(d, name))
 
     def meta_droppings(self) -> list[MetaDropping]:
         d = os.path.join(self.path, constants.META_DIR)

@@ -68,6 +68,53 @@ def parse_records(data: bytes, *, source: str = "<memory>") -> np.ndarray:
     return np.frombuffer(data, dtype=INDEX_DTYPE).copy()
 
 
+def split_torn(data: bytes) -> tuple[np.ndarray, int]:
+    """Parse as many whole records as *data* holds, tolerating a torn tail.
+
+    A crash mid-flush (or mid-WAL-append) leaves an index dropping whose
+    byte count is not a multiple of the record size; the prefix of whole
+    records is still sound because records are appended atomically in
+    memory and sequentially on disk.  Returns ``(records, torn_bytes)``
+    where *torn_bytes* is the length of the discarded partial tail.
+    """
+    torn = len(data) % RECORD_SIZE
+    whole = data[: len(data) - torn] if torn else data
+    return np.frombuffer(whole, dtype=INDEX_DTYPE).copy(), torn
+
+
+def clip_to_physical(records: np.ndarray, data_size: int) -> tuple[np.ndarray, int]:
+    """Clip *records* to the bytes a data dropping actually holds.
+
+    Recovery reconciliation: a record (from a WAL or an index dropping)
+    may promise bytes past the end of its data dropping — the write was
+    torn, or never happened before the crash.  Records are physically
+    sequential within one dropping, so each record's true extent is
+    bounded below by the next record's start and by *data_size*.  Returns
+    ``(clipped_records, lost_bytes)`` where *lost_bytes* counts promised
+    bytes that never reached the dropping.
+    """
+    if records.shape[0] == 0:
+        return records, 0
+    out = records.copy()
+    lost = 0
+    keep = np.ones(out.shape[0], dtype=bool)
+    for i in range(out.shape[0]):
+        start = int(out[i]["physical_offset"])
+        promised = int(out[i]["length"])
+        if i + 1 < out.shape[0]:
+            bound = min(int(out[i + 1]["physical_offset"]), data_size)
+        else:
+            bound = data_size
+        actual = max(0, min(promised, bound - start))
+        if actual < promised:
+            lost += promised - actual
+        if actual == 0:
+            keep[i] = False
+        else:
+            out[i]["length"] = actual
+    return out[keep], lost
+
+
 def read_index_dropping(path: str) -> np.ndarray:
     """Read and parse one index dropping file."""
     with open(path, "rb") as fh:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from . import constants, util
 from .container import Container, assert_container
 from .errors import CorruptIndexError
-from .index import load_global_index, read_index_dropping
+from .index import load_global_index, read_index_dropping, split_torn
 
 
 @dataclass
@@ -94,23 +94,48 @@ def plfs_check(path: str) -> ContainerReport:
             report.problem(f"data dropping missing: {data_path}")
             continue
         report.physical_bytes += data_size
+        wal_path = os.path.join(
+            os.path.dirname(data_path),
+            util.wal_name_for_data(os.path.basename(data_path)),
+        )
+        has_wal = os.path.exists(wal_path)
+        if has_wal:
+            report.warn(
+                f"write-ahead index present for {data_path}: writer "
+                "crashed or still running (repro-fsck can rebuild)"
+            )
         if not os.path.exists(index_path):
             report.problem(f"index dropping missing for {data_path}")
             continue
-        try:
-            records = read_index_dropping(index_path)
-        except CorruptIndexError as exc:
-            report.problem(str(exc))
+        with open(index_path, "rb") as fh:
+            raw = fh.read()
+        records, torn = split_torn(raw)
+        if torn:
+            report.problem(
+                f"torn index dropping {index_path}: {torn} trailing bytes "
+                "are not a whole record (crash mid-flush; repro-fsck can "
+                "truncate to the last whole record)"
+            )
             continue
         report.records += int(records.shape[0])
+        indexed_end = 0
         if records.shape[0]:
             ends = records["physical_offset"] + records["length"]
-            overrun = int(ends.max()) - data_size
+            indexed_end = int(ends.max())
+            overrun = indexed_end - data_size
             if overrun > 0:
                 report.problem(
                     f"index promises {overrun} bytes past the end of "
                     f"{data_path}"
                 )
+                continue
+        if data_size > indexed_end and not has_wal:
+            report.warn(
+                f"{data_size - indexed_end} unindexed trailing bytes in "
+                f"{data_path}: a writer died between the data append and "
+                "the index flush; without a write-ahead index these bytes "
+                "are unrecoverable"
+            )
 
     # Orphan index droppings (index without data).
     for entry in sorted(os.listdir(path)):

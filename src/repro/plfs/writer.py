@@ -14,7 +14,7 @@ import os
 
 import numpy as np
 
-from . import util
+from . import backing, util
 from .container import Container
 from .errors import BadFlagsError
 from .index import INDEX_DTYPE, make_record, pack_records
@@ -25,12 +25,22 @@ INDEX_FLUSH_THRESHOLD = 4096
 
 
 class _Dropping:
-    """One open (data, index) dropping pair for a single pid."""
+    """One open (data, index) dropping pair for a single pid.
+
+    With *wal* enabled, every append persists its index record to a
+    sibling write-ahead dropping **before** touching the data dropping, so
+    a crash at any instruction leaves enough on disk for ``repro-fsck`` to
+    rebuild the index (clipped to the bytes that physically arrived).  The
+    WAL is deleted on clean close, when the flushed index dropping becomes
+    authoritative.
+    """
 
     __slots__ = (
         "data_path",
         "index_path",
+        "wal_path",
         "data_fd",
+        "wal_fd",
         "physical_offset",
         "pending",
         "records_written",
@@ -38,16 +48,44 @@ class _Dropping:
         "merge_records",
     )
 
-    def __init__(self, hostdir: str, host: str, pid: int, *, merge_records: bool = True):
+    def __init__(
+        self,
+        hostdir: str,
+        host: str,
+        pid: int,
+        *,
+        merge_records: bool = True,
+        wal: bool = False,
+    ):
         ts = util.unique_timestamp()
         self.data_path = os.path.join(hostdir, util.data_dropping_name(host, pid, ts))
         self.index_path = os.path.join(hostdir, util.index_dropping_name(host, pid, ts))
+        self.wal_path = (
+            os.path.join(hostdir, util.wal_dropping_name(host, pid, ts)) if wal else None
+        )
         self.data_fd = os.open(
             self.data_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
-        # Touch the index dropping immediately so readers pair it with the
-        # data dropping even before the first sync.
-        os.close(os.open(self.index_path, os.O_WRONLY | os.O_CREAT, 0o644))
+        self.wal_fd = -1
+        try:
+            # Touch the index dropping immediately so readers pair it with
+            # the data dropping even before the first sync.
+            os.close(os.open(self.index_path, os.O_WRONLY | os.O_CREAT, 0o644))
+            if wal:
+                self.wal_fd = os.open(
+                    self.wal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+        except OSError:
+            # Error-path hygiene: never leave a data dropping behind with
+            # no sibling index (an orphan the next reader must skip) nor a
+            # leaked descriptor.
+            os.close(self.data_fd)
+            for p in (self.data_path, self.index_path):
+                try:
+                    os.unlink(p)
+                except OSError:
+                    pass
+            raise
         self.physical_offset = 0
         self.pending: list[np.ndarray] = []
         self.records_written = 0
@@ -82,7 +120,20 @@ class _Dropping:
         return False
 
     def append(self, buf: bytes | bytearray | memoryview, logical_offset: int, pid: int) -> int:
-        written = os.write(self.data_fd, buf)
+        store = backing.current()
+        if self.wal_fd >= 0:
+            # The WAL record promises the full length; a torn data write
+            # is reconciled at recovery time by clipping the record to the
+            # bytes the data dropping actually holds.
+            rec = make_record(
+                logical_offset=logical_offset,
+                physical_offset=self.physical_offset,
+                length=len(buf),
+                pid=pid,
+                timestamp=util.unique_timestamp(),
+            )
+            store.write_wal(self.wal_fd, pack_records(rec), self.wal_path)
+        written = store.write_data(self.data_fd, buf, self.data_path)
         if not self._try_merge(logical_offset, written, pid):
             self.pending.append(
                 make_record(
@@ -105,18 +156,38 @@ class _Dropping:
         if not self.pending:
             return
         records = self.pending_records()
-        with open(self.index_path, "ab") as fh:
-            fh.write(pack_records(records))
+        backing.current().append_index(self.index_path, pack_records(records))
         self.records_written += records.shape[0]
         self.pending.clear()
 
     def sync(self) -> None:
         self.flush_index()
-        os.fsync(self.data_fd)
+        backing.current().fsync(self.data_fd)
 
     def close(self) -> None:
         self.flush_index()
         os.close(self.data_fd)
+        if self.wal_fd >= 0:
+            # Clean close: the flushed index dropping is now authoritative;
+            # the write-ahead copy of the records is redundant.
+            os.close(self.wal_fd)
+            self.wal_fd = -1
+            try:
+                os.unlink(self.wal_path)
+            except OSError:
+                pass
+
+    def abandon(self) -> None:
+        """Release OS resources as a crashed process would: no index
+        flush, no WAL cleanup, buffered records dropped on the floor."""
+        self.pending.clear()
+        for fd in (self.data_fd, self.wal_fd):
+            if fd >= 0:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self.wal_fd = -1
 
 
 class WriteFile:
@@ -133,6 +204,7 @@ class WriteFile:
         *,
         host: str | None = None,
         merge_records: bool = True,
+        wal: bool = False,
     ):
         self.container = container
         self.host = host or util.hostname()
@@ -142,6 +214,9 @@ class WriteFile:
         self._total_written = 0
         self._closed = False
         self._merge_records = merge_records
+        #: write-ahead index: persist each record before its data append so
+        #: a crash never strands unindexed data (see repro.faults.fsck)
+        self.wal = wal
         self._last_dropping: _Dropping | None = None
 
     # ------------------------------------------------------------------ #
@@ -149,7 +224,7 @@ class WriteFile:
     def _dropping_for(self, pid: int) -> _Dropping:
         d = self._droppings.get(pid)
         if d is None:
-            d = _Dropping(self.hostdir, self.host, pid)
+            d = _Dropping(self.hostdir, self.host, pid, wal=self.wal)
             self._droppings[pid] = d
         return d
 
@@ -217,6 +292,17 @@ class WriteFile:
             return
         for d in self._droppings.values():
             d.close()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Tear down as if the writing process died (SIGKILL semantics):
+        descriptors are released but nothing buffered is flushed and no
+        metadata is recorded.  Used by the fault-injection harness to
+        model process kill between a data append and the index flush."""
+        if self._closed:
+            return
+        for d in self._droppings.values():
+            d.abandon()
         self._closed = True
 
     @property

@@ -9,6 +9,22 @@ import pytest
 from repro.core.interpose import Interposer
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fault-seed",
+        type=int,
+        default=1337,
+        help="seed for the fault-injection crash-consistency tests "
+        "(the CI matrix runs several; any failing value reproduces exactly)",
+    )
+
+
+@pytest.fixture
+def fault_seed(request):
+    """The seed the fault-injection suite derives its randomness from."""
+    return request.config.getoption("--fault-seed")
+
+
 @pytest.fixture
 def backend(tmp_path):
     """A fresh PLFS backend directory."""

@@ -51,6 +51,72 @@ class TestOpenClose:
             interposer.real.fstat(fd)
 
 
+class TestFailedOpenCleanup:
+    """A failed plfs_open must leave no residue: no shadow descriptor, no
+    fd-table entry, no PLFS handle, no openhost marker."""
+
+    @staticmethod
+    def open_fd_count():
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_failed_insert_releases_handle_and_marker(
+        self, interposer, f, backend, monkeypatch
+    ):
+        from repro.core.fdtable import FdTable
+
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("injected registration failure")
+
+        monkeypatch.setattr(FdTable, "insert", boom)
+        before = self.open_fd_count()
+        with pytest.raises(RuntimeError):
+            os.open(f, os.O_CREAT | os.O_WRONLY)
+        assert self.open_fd_count() == before  # no descriptor leaked
+        from repro.plfs.container import Container
+
+        container = Container(os.path.join(backend, "file"))
+        assert container.open_writers() == []  # the marker was withdrawn
+        assert len(interposer.shim.table) == 0
+
+    def test_failed_entry_registration_closes_shadow_fd(
+        self, interposer, f, monkeypatch
+    ):
+        from repro.core import fdtable
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected entry failure")
+
+        monkeypatch.setattr(fdtable, "FdEntry", boom)
+        before = self.open_fd_count()
+        with pytest.raises(RuntimeError):
+            os.open(f, os.O_CREAT | os.O_WRONLY)
+        assert self.open_fd_count() == before
+        assert len(interposer.shim.table) == 0
+
+    def test_file_usable_after_failed_open(self, interposer, f, monkeypatch):
+        from repro.core.fdtable import FdTable
+
+        original = FdTable.insert
+        calls = {"n": 0}
+
+        def fail_once(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(FdTable, "insert", fail_once)
+        with pytest.raises(RuntimeError):
+            os.open(f, os.O_CREAT | os.O_WRONLY)
+        # No stale writer state blocks the retry.
+        fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        os.write(fd, b"recovered")
+        os.close(fd)
+        fd = os.open(f, os.O_RDONLY)
+        assert os.read(fd, 20) == b"recovered"
+        os.close(fd)
+
+
 class TestCursorEmulation:
     def test_sequential_reads_advance(self, interposer, f):
         fd = os.open(f, os.O_CREAT | os.O_RDWR)

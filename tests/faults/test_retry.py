@@ -1,0 +1,136 @@
+"""Shim retry policy: transient faults invisible to the application.
+
+LDPLFS's premise is running applications unmodified — applications that
+never loop on EINTR or resume short writes.  These tests arm the injector
+under an installed interposer and assert the application-visible behaviour
+is a plain, complete ``os.write``/``os.read``.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.core import RetryPolicy
+from repro.core.interpose import Interposer
+from repro.faults import FaultInjector, FaultSpec
+
+
+@pytest.fixture
+def f(mnt):
+    return f"{mnt}/file"
+
+
+class TestPolicySchedule:
+    def test_delays_backoff_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.01, backoff_factor=4.0, backoff_max=0.1
+        )
+        assert policy.delays() == [0.01, 0.04, 0.1, 0.1]
+
+    def test_one_attempt_never_sleeps(self):
+        assert RetryPolicy(max_attempts=1).delays() == []
+
+
+@pytest.fixture
+def slept():
+    return []
+
+
+@pytest.fixture
+def shim_under(mnt, backend, slept):
+    """An installed interposer whose retry policy records sleeps instead
+    of sleeping."""
+    policy = RetryPolicy(backoff_base=0.001, backoff_factor=2.0)
+    policy.sleep = slept.append
+    ip = Interposer([(mnt, backend)])
+    ip.shim.retry = policy
+    ip.install()
+    try:
+        yield ip.shim
+    finally:
+        ip.drain()
+        ip.uninstall()
+
+
+class TestTransientAbsorption:
+    def test_single_eintr_absorbed(self, shim_under, slept, f):
+        inj = FaultInjector([FaultSpec("data_write", "eintr", op=1)])
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+            assert os.write(fd, b"A" * 64) == 64
+            os.close(fd)
+        assert shim_under.stats["transient_retries"] == 1
+        assert slept == shim_under.retry.delays()[:1]
+
+    def test_repeated_eintr_backs_off_exponentially(self, shim_under, slept, f):
+        inj = FaultInjector([FaultSpec("data_write", "eintr", every=1, count=3)])
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+            assert os.write(fd, b"B" * 16) == 16
+            os.close(fd)
+        assert shim_under.stats["transient_retries"] == 3
+        assert slept == shim_under.retry.delays()[:3]
+        assert slept == [0.001, 0.002, 0.004]
+
+    def test_eagain_also_transient(self, shim_under, f):
+        inj = FaultInjector([FaultSpec("data_write", "eagain", op=1)])
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+            assert os.write(fd, b"C" * 8) == 8
+            os.close(fd)
+        assert shim_under.stats["transient_retries"] == 1
+
+    def test_short_write_resumed_to_completion(self, shim_under, f):
+        inj = FaultInjector(
+            [FaultSpec("data_write", "short", op=1, short_bytes=10)]
+        )
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_RDWR)
+            assert os.write(fd, b"D" * 64) == 64  # one call, fully written
+            assert os.pread(fd, 100, 0) == b"D" * 64
+            os.close(fd)
+        assert shim_under.stats["short_write_resumes"] == 1
+
+    def test_exhaustion_surfaces_the_errno(self, shim_under, slept, f):
+        shim_under.retry.max_attempts = 3
+        inj = FaultInjector(
+            [FaultSpec("data_write", "eintr", every=1, count=None)]
+        )
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+            with pytest.raises(InterruptedError):
+                os.write(fd, b"x")
+            os.close(fd)
+        assert len(slept) == 2  # max_attempts - 1 sleeps, then it raises
+        assert shim_under.stats["transient_retries"] == 2
+
+    def test_nontransient_not_retried(self, shim_under, slept, f):
+        inj = FaultInjector([FaultSpec("data_write", "enospc", op=1)])
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_WRONLY)
+            with pytest.raises(OSError) as exc:
+                os.write(fd, b"x")
+            assert exc.value.errno == errno.ENOSPC
+            os.close(fd)
+        assert slept == []
+        assert shim_under.stats["transient_retries"] == 0
+
+    def test_faulted_write_is_fully_consistent_after(self, shim_under, f):
+        """After absorption, container state equals an unfaulted run."""
+        inj = FaultInjector(
+            "data_write:eintr:every=3:count=inf;"
+            "data_write:short:every=4:count=inf:bytes=5",
+            seed=1,
+        )
+        payload = bytes(range(256)) * 4
+        with inj.armed():
+            fd = os.open(f, os.O_CREAT | os.O_RDWR)
+            for i in range(8):
+                assert os.write(fd, payload) == len(payload)
+            assert os.pread(fd, 8 * len(payload), 0) == payload * 8
+            os.close(fd)
+        assert shim_under.stats["transient_retries"] > 0
+        assert shim_under.stats["short_write_resumes"] > 0

@@ -1,0 +1,98 @@
+"""Metadata-service outage windows in the simulator.
+
+The failure-injection counterpart on the modelling side: an MDS failover
+(or a recovery pause while ``repro-fsck`` repairs state) seizes every
+metadata server for a window, and the accounting surfaces in the platform
+report the insights detector reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SIERRA, Platform
+from repro.cluster.platform import MetadataService
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestOutage:
+    def test_ops_during_outage_wait_for_it_to_lift(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+        mds.schedule_outage(start=0.0, duration=5.0)
+        done = []
+
+        def proc():
+            yield env.timeout(1.0)  # arrives mid-outage
+            yield from mds.op("stat")
+            done.append(env.now)
+
+        env.run(until=env.process(proc()))
+        # The op waited out the remaining 4s of outage before service.
+        assert done[0] >= 5.0
+        assert mds.ops_delayed_by_outage == 1
+
+    def test_op_before_outage_unaffected(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+        mds.schedule_outage(start=100.0, duration=5.0)
+
+        def proc():
+            yield from mds.op("stat")
+
+        env.run(until=env.process(proc()))
+        assert env.now == pytest.approx(SIERRA.perf.mds_base_service)
+        assert mds.ops_delayed_by_outage == 0
+
+    def test_in_flight_op_drains_before_outage_seizes(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+        # Outage scheduled mid-service of an already-granted op: the op
+        # finishes (FCFS), the outage seizes afterwards.
+        mds.schedule_outage(start=SIERRA.perf.mds_base_service / 2, duration=1.0)
+        finished = []
+
+        def proc():
+            yield from mds.op("stat")
+            finished.append(env.now)
+
+        env.run(until=env.process(proc()))
+        assert finished[0] == pytest.approx(SIERRA.perf.mds_base_service)
+
+    def test_accounting_counters(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+        mds.schedule_outage(start=0.0, duration=2.0)
+        mds.schedule_outage(start=10.0, duration=3.0)
+        env.run()
+        assert mds.outages == 2
+        assert mds.outage_seconds == pytest.approx(5.0)
+        assert not mds.outage_active
+
+    def test_validation(self, env):
+        mds = MetadataService(env, SIERRA.perf)
+        with pytest.raises(ValueError):
+            mds.schedule_outage(start=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            mds.schedule_outage(start=0.0, duration=0.0)
+
+    def test_platform_report_carries_outage_keys(self, env):
+        platform = Platform(env, SIERRA)
+        platform.mds.schedule_outage(start=0.0, duration=1.5)
+
+        def proc():
+            yield env.timeout(0.5)
+            yield from platform.mds.op("stat")
+
+        env.run(until=env.process(proc()))
+        report = platform.report()
+        assert report["mds_outages"] == 1
+        assert report["mds_outage_seconds"] == pytest.approx(1.5)
+        assert report["mds_ops_delayed_by_outage"] == 1
+
+    def test_outage_free_report_is_zero(self, env):
+        report = Platform(env, SIERRA).report()
+        assert report["mds_outages"] == 0
+        assert report["mds_outage_seconds"] == 0.0
+        assert report["mds_ops_delayed_by_outage"] == 0

@@ -9,6 +9,7 @@ from repro.insights import ALL_RULES, Severity, run_rules, validate_thresholds
 from repro.insights.metrics import IORunProfile
 from repro.insights.rules import (
     detect_buffered_opacity,
+    detect_fault_degraded_run,
     detect_fuse_request_chunking,
     detect_mds_create_storm,
     detect_metadata_heavy,
@@ -291,7 +292,55 @@ class TestRunRules:
         assert findings == []
 
     def test_every_rule_registered_once(self):
-        assert len(ALL_RULES) == len(set(ALL_RULES)) == 11
+        assert len(ALL_RULES) == len(set(ALL_RULES)) == 12
+
+
+class TestFaultDegradedRun:
+    def test_silent_on_healthy_run(self):
+        assert detect_fault_degraded_run(make_profile()) is None
+
+    def test_warns_on_injected_faults(self):
+        p = make_profile(
+            injected_faults=3, fault_points={"data_write": 2, "index_flush": 1}
+        )
+        f = detect_fault_degraded_run(p)
+        assert f is not None and f.severity is Severity.WARN
+        assert "3 fault(s)" in f.detail
+        assert "repro-fsck" in f.recommendation
+        assert f.evidence["fault_points"] == {"data_write": 2, "index_flush": 1}
+
+    def test_warns_on_mds_outage(self):
+        p = make_profile(
+            mds_outages=1, mds_outage_seconds=5.0, mds_ops_delayed_by_outage=40
+        )
+        f = detect_fault_degraded_run(p)
+        assert f is not None and f.severity is Severity.WARN
+        assert "5.0s" in f.detail
+        assert f.evidence["mds_ops_delayed_by_outage"] == 40
+
+    def test_info_on_absorbed_transients_only(self):
+        p = make_profile(transient_retries=4, short_write_resumes=1)
+        f = detect_fault_degraded_run(p)
+        assert f is not None and f.severity is Severity.INFO
+        assert "retried 4" in f.detail
+
+    def test_attach_fault_evidence_feeds_the_detector(self):
+        from repro.faults.injector import FaultEvent
+        from repro.insights import attach_fault_evidence
+
+        p = make_profile()
+        attach_fault_evidence(
+            p,
+            events=[
+                FaultEvent("data_write", "eintr", 1, "/d", 10, 0),
+                FaultEvent("data_write", "short", 2, "/d", 10, 3),
+            ],
+            shim_stats={"transient_retries": 1, "short_write_resumes": 1},
+        )
+        assert p.injected_faults == 2
+        assert p.fault_points == {"data_write": 2}
+        f = detect_fault_degraded_run(p)
+        assert f is not None and f.severity is Severity.WARN
 
 
 class TestPaperVerdictsFromSimulation:

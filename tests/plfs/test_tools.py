@@ -51,7 +51,8 @@ class TestCheck:
             fh.truncate(os.path.getsize(index_path) - 3)
         report = plfs_check(filled)
         assert not report.ok
-        assert any("multiple" in p for p in report.problems)
+        assert any("torn index" in p for p in report.problems)
+        assert any("repro-fsck" in p for p in report.problems)
 
     def test_truncated_data_detected(self, filled):
         [(_, data_path)] = plfs.Container(filled).droppings()
