@@ -1,0 +1,164 @@
+"""Read-path fast lane: cold merge vs compacted index vs warm cache.
+
+Not a paper figure — evidence for the read-path optimisation layer: the
+persistent compacted ``global.index``, the process-wide shared index
+cache, and coalesced read plans.  The workload is the shape the paper's
+read benchmarks (unixtools ``cp``/``cat``, BT read phases) stress
+hardest: a container fanned out over many droppings, re-opened and
+re-stat'ed repeatedly.
+
+Smoke scale by default (CI runs this); ``LDPLFS_BENCH_FULL=1`` widens the
+container.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from .conftest import FULL_SCALE
+from repro.plfs.cache import compact, load_index, shared_cache
+from repro.plfs.container import Container
+from repro.plfs.reader import ReadFile
+from repro.plfs.writer import WriteFile
+
+DROPPINGS = 128 if FULL_SCALE else 64
+WRITES_PER_DROPPING = 64 if FULL_SCALE else 16
+STRIPE = 512
+REPEATS = 5
+STAT_CALLS = 200
+
+
+@pytest.fixture
+def wide_container(tmp_path):
+    """A container striped over DROPPINGS droppings (one pid each)."""
+    c = Container(str(tmp_path / "wide"))
+    c.create()
+    writers = [WriteFile(c) for _ in range(DROPPINGS)]
+    for r in range(WRITES_PER_DROPPING):
+        for i in range(DROPPINGS):
+            off = (r * DROPPINGS + i) * STRIPE
+            writers[i].write(bytes([(r + i) % 256]) * STRIPE, off, pid=i + 1)
+    for w in writers:
+        w.close()
+    shared_cache().clear()
+    shared_cache().reset_stats()
+    yield c
+    shared_cache().clear()
+    shared_cache().reset_stats()
+
+
+def median_time(fn, repeats=REPEATS):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def open_and_read(container, nbytes):
+    with ReadFile(container) as r:
+        assert len(r.read(nbytes, 0)) == nbytes
+
+
+def test_read_path_fast_lane(wide_container, report, tmp_path):
+    c = wide_container
+    size = DROPPINGS * WRITES_PER_DROPPING * STRIPE
+    pairs = len(c.droppings())
+    assert pairs == DROPPINGS
+
+    # Cold merge: no compacted index, cache cleared every round.
+    c.drop_global_index()
+
+    def cold():
+        shared_cache().clear()
+        open_and_read(c, size)
+
+    t_cold = median_time(cold)
+    assert load_index(c).source == "merged"
+
+    # Compacted: global.index present, cache still cleared every round.
+    segments = compact(c)
+
+    def compacted():
+        shared_cache().clear()
+        open_and_read(c, size)
+
+    t_compacted = median_time(compacted)
+    assert load_index(c).source == "compacted"
+
+    # Warm cache: the index survives across opens.
+    shared_cache().clear()
+    open_and_read(c, size)  # prime
+
+    def warm():
+        open_and_read(c, size)
+
+    t_warm = median_time(warm)
+    hits = shared_cache().stats["hits"]
+    assert hits >= REPEATS
+
+    # Repeated stat through the shared cache.
+    t_stat = median_time(
+        lambda: [c.getattr() for _ in range(STAT_CALLS)], repeats=3
+    )
+
+    # Coalescing: a writer that lands stripes slightly out of order
+    # (chunks of four written 0,2,1,3) fragments the index into per-stripe
+    # slices whose physical neighbours sit within the sieve gap.
+    frag = Container(str(tmp_path / "frag"))
+    frag.create()
+    w = WriteFile(frag)
+    stripes = DROPPINGS * 4
+    for base in range(0, stripes, 4):
+        for k in (0, 2, 1, 3):
+            s = base + k
+            w.write(bytes([s % 256]) * STRIPE, s * STRIPE, pid=1)
+    w.close()
+    frag_size = stripes * STRIPE
+    with ReadFile(frag, coalesce=False) as r:
+        r.read(frag_size, 0)
+        preads_plain = r.stats["preads"]
+    with ReadFile(frag) as r:
+        r.read(frag_size, 0)
+        preads_coalesced = r.stats["preads"]
+        sieved = r.stats["sieved_gap_bytes"]
+
+    lines = [
+        "read-path fast lane "
+        f"({DROPPINGS} droppings x {WRITES_PER_DROPPING} writes x {STRIPE} B"
+        f" = {size / 1e6:.1f} MB, median of {REPEATS})",
+        f"{'route':28s} {'open+read (ms)':>15s} {'speedup':>9s}",
+        f"{'cold merge':28s} {t_cold * 1e3:15.2f} {1.0:9.2f}x",
+        f"{'compacted global.index':28s} {t_compacted * 1e3:15.2f} "
+        f"{t_cold / t_compacted:9.2f}x",
+        f"{'warm shared cache':28s} {t_warm * 1e3:15.2f} "
+        f"{t_cold / t_warm:9.2f}x",
+        "",
+        f"compacted segments          : {segments}",
+        f"{STAT_CALLS} stat calls (warm)      : {t_stat * 1e3:.2f} ms",
+        f"fragmented-scan preads      : {preads_plain} plain -> "
+        f"{preads_coalesced} coalesced ({sieved} B sieved)",
+    ]
+    report("read_path.txt", "\n".join(lines))
+
+    # Coarse regression guards (the CI read-path job runs these):
+    # a cached open must beat re-merging every dropping cold, and the
+    # compacted load must not be slower than the merge it replaces.
+    assert t_warm < t_cold, (
+        f"warm cached open ({t_warm * 1e3:.2f} ms) did not beat the cold "
+        f"merge ({t_cold * 1e3:.2f} ms)"
+    )
+    assert preads_coalesced < preads_plain
+
+
+def test_repeated_stat_builds_index_once(wide_container):
+    c = wide_container
+    for _ in range(STAT_CALLS):
+        c.getattr()
+    stats = shared_cache().stats
+    assert stats["misses"] == 1
+    assert stats["hits"] == STAT_CALLS - 1

@@ -386,16 +386,22 @@ class Shim:
     # ------------------------------------------------------------------ #
 
     def _readv_at(self, entry, buffers, offset) -> int:
-        total = 0
-        for buf in buffers:
-            view = memoryview(buf)
-            data = self._read_retry(entry.plfs_fd, len(view), offset + total)
-            n = len(data)
-            view[:n] = data
-            total += n
-            if n < len(view):
+        # The buffers cover one contiguous logical span, so a single
+        # plfs_read (which the read path can coalesce into few preads)
+        # then scattering into the views beats one plfs_read per buffer.
+        views = [memoryview(buf) for buf in buffers]
+        want = sum(len(v) for v in views)
+        if not want:
+            return 0
+        data = self._read_retry(entry.plfs_fd, want, offset)
+        pos = 0
+        for view in views:
+            chunk = data[pos : pos + len(view)]
+            view[: len(chunk)] = chunk
+            pos += len(chunk)
+            if len(chunk) < len(view):
                 break
-        return total
+        return len(data)
 
     def _writev_at(self, entry, buffers, offset) -> int:
         total = 0

@@ -22,7 +22,12 @@ state the previous steps made consistent:
 4. stale openhost markers are cleared (fsck runs offline, like the C
    tool);
 5. the cached-size metadata is rebuilt from the repaired global index;
-6. a final :func:`~repro.plfs.tools.plfs_check` verifies the result.
+6. the persistent compacted global index is audited: a copy whose epoch
+   no longer matches the (possibly just-repaired) droppings — or that
+   does not parse — is deleted, never trusted, and leftover compaction
+   temporaries (``global.index.tmp.*``, a crash mid-compaction) are
+   swept;
+7. a final :func:`~repro.plfs.tools.plfs_check` verifies the result.
 
 ``dry_run`` records every action and verdict without touching the
 container.
@@ -34,11 +39,14 @@ import os
 from dataclasses import dataclass, field
 
 from repro.plfs import constants, util
+from repro.plfs.cache import invalidate as invalidate_index_cache
 from repro.plfs.container import Container, assert_container
+from repro.plfs.errors import CorruptIndexError
 from repro.plfs.index import (
     clip_to_physical,
     load_global_index,
     pack_records,
+    parse_compacted,
     split_torn,
 )
 from repro.plfs.tools import ContainerReport, plfs_check
@@ -318,6 +326,40 @@ def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
                 f"cached size {index.logical_size} from the repaired index",
             )
 
-    # 6. verify
+    # 6. compacted global index: a cache, never an authority — anything
+    # not byte-for-byte trustworthy against the repaired droppings goes.
+    gpath = container.global_index_path()
+    if os.path.exists(gpath):
+        reason = None
+        try:
+            with open(gpath, "rb") as fh:
+                _, _, file_epoch, _ = parse_compacted(fh.read(), source=gpath)
+        except (OSError, CorruptIndexError):
+            reason = "does not parse"
+        else:
+            if file_epoch != container.index_epoch():
+                reason = "epoch no longer matches the droppings"
+        if reason is not None:
+            report.act(
+                "drop-stale-compacted",
+                constants.GLOBAL_INDEX_FILE,
+                f"compacted global index {reason}; readers re-merge "
+                "(repro-plfs compact rebuilds it)",
+            )
+            if not dry_run:
+                container.drop_global_index()
+    for name in sorted(os.listdir(path)):
+        if name.startswith(constants.GLOBAL_INDEX_FILE + ".tmp."):
+            report.act(
+                "sweep-compaction-tmp",
+                name,
+                "leftover temporary from a compaction that never completed",
+            )
+            if not dry_run:
+                os.unlink(os.path.join(path, name))
+    if not dry_run:
+        invalidate_index_cache(container.path)
+
+    # 7. verify
     report.check = plfs_check(path)
     return report

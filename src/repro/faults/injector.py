@@ -21,6 +21,7 @@ index_flush append packed records to an index dropping (``append_index``)
 wal_write   append one record to a write-ahead dropping (``write_wal``)
 meta_create create a cached-metadata dropping (``create_meta``)
 fsync       fsync a data dropping (``fsync``)
+global_index write the compacted global index (``write_global_index``)
 ========= ==============================================================
 
 Behaviours (the ``behavior``):
@@ -52,7 +53,14 @@ from repro.plfs.index import RECORD_SIZE
 ENV_SPECS = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULT_SEED"
 
-POINTS = ("data_write", "index_flush", "wal_write", "meta_create", "fsync")
+POINTS = (
+    "data_write",
+    "index_flush",
+    "wal_write",
+    "meta_create",
+    "fsync",
+    "global_index",
+)
 BEHAVIORS = ("short", "eintr", "eagain", "enospc", "crash", "torn")
 
 
@@ -298,6 +306,17 @@ class FaultyBackingStore(backing.BackingStore):
             self._fail(spec, op, path, b"", None)
             return
         self.inner.create_meta(path)
+
+    def write_global_index(self, path: str, payload: bytes) -> None:
+        spec, op = self.injector.decide("global_index")
+        if spec is not None:
+            # Short/torn payloads land in the *temporary* — exactly what a
+            # real crash leaves: the visible compacted index (if any) is
+            # untouched and readers fall back to the merge path.
+            tmp = f"{path}.tmp.{os.getpid()}"
+            self._fail(spec, op, tmp, payload, None, record_payload=True)
+            return
+        self.inner.write_global_index(path, payload)
 
     def fsync(self, fd: int) -> None:
         spec, op = self.injector.decide("fsync")

@@ -109,6 +109,13 @@ class IORunProfile:
     mds_outage_seconds: float = 0.0
     mds_ops_delayed_by_outage: int = 0
 
+    # read-path fast lane evidence (repro.plfs.cache / ReadFile counters)
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
+    compacted_index_loads: int = 0
+    read_preads: int = 0
+    read_preads_coalesced: int = 0
+
     # trace-only bookkeeping
     buffered_opaque_files: int = 0
     files: list[dict] = field(default_factory=list)
@@ -174,6 +181,11 @@ class IORunProfile:
             "mds_outages": self.mds_outages,
             "mds_outage_seconds": self.mds_outage_seconds,
             "mds_ops_delayed_by_outage": self.mds_ops_delayed_by_outage,
+            "index_cache_hits": self.index_cache_hits,
+            "index_cache_misses": self.index_cache_misses,
+            "compacted_index_loads": self.compacted_index_loads,
+            "read_preads": self.read_preads,
+            "read_preads_coalesced": self.read_preads_coalesced,
             "buffered_opaque_files": self.buffered_opaque_files,
             "write_bandwidth_mbps": self.write_bandwidth_mbps,
         }
@@ -207,6 +219,34 @@ def attach_fault_evidence(
         profile.transient_retries += int(shim_stats.get("transient_retries", 0))
         profile.short_write_resumes += int(
             shim_stats.get("short_write_resumes", 0)
+        )
+    return profile
+
+
+def attach_read_path_evidence(
+    profile: IORunProfile,
+    *,
+    cache_stats: dict | None = None,
+    read_stats: dict | None = None,
+) -> IORunProfile:
+    """Fold read-path fast-lane counters into *profile* (returns it).
+
+    *cache_stats* is an :class:`repro.plfs.cache.IndexCache` ``stats``
+    dict; *read_stats* a :class:`repro.plfs.reader.ReadFile` ``stats``
+    dict.  Decoupled the same way as :func:`attach_fault_evidence`:
+    insights consumes plain counter dicts, never plfs objects.
+    """
+    if cache_stats:
+        profile.index_cache_hits += int(cache_stats.get("hits", 0))
+        profile.index_cache_misses += int(cache_stats.get("misses", 0))
+        profile.compacted_index_loads += int(
+            cache_stats.get("compacted_loads", 0)
+        )
+        profile.index_rebuild_ops += int(cache_stats.get("merged_builds", 0))
+    if read_stats:
+        profile.read_preads += int(read_stats.get("preads", 0))
+        profile.read_preads_coalesced += int(
+            read_stats.get("coalesced_slices", 0)
         )
     return profile
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from . import cache as index_cache
 from . import constants
 from .container import Container, is_container, readdir_logical, rmdir_logical
 from .errors import BadFlagsError, ContainerNotFoundError, NotAContainerError
@@ -41,6 +42,10 @@ class OpenOptions:
     #: append, making a crashed writer's index rebuildable by ``repro-fsck``
     #: at the cost of one small sequential write per call
     write_ahead_index: bool = False
+    #: flatten the merged global index into the persistent ``global.index``
+    #: dropping when the last writer closes cleanly, so subsequent opens
+    #: load one compacted file instead of re-merging every index dropping
+    compact_on_close: bool = True
 
 
 @dataclass
@@ -57,6 +62,8 @@ class Plfs_fd:
     pid: int
     refs: int = 1
     writer: WriteFile | None = None
+    #: write the persistent compacted global index on last clean close
+    compact_on_close: bool = True
     _reader: ReadFile | None = field(default=None, repr=False)
     _dirty_since_reader_build: bool = field(default=False, repr=False)
 
@@ -131,6 +138,8 @@ def plfs_open(
         container.wipe_data()
 
     fd = Plfs_fd(container=container, flags=flags, pid=pid)
+    if open_opt is not None:
+        fd.compact_on_close = open_opt.compact_on_close
     if fd.writable:
         wal = bool(open_opt and open_opt.write_ahead_index)
         fd.writer = WriteFile(container, wal=wal)
@@ -161,6 +170,19 @@ def plfs_close(fd: Plfs_fd, pid: int | None = None, flags: int | None = None) ->
         if total:
             fd.container.drop_meta(last, total)
         fd.writer = None
+        if (
+            total
+            and fd.compact_on_close
+            and not fd.container.open_writers()
+        ):
+            # Clean last close: flatten the merged index into the
+            # persistent global.index so the next reader skips the merge.
+            # Compaction is an accelerator — a failure to write it must
+            # never fail the close (readers just take the slow path).
+            try:
+                index_cache.compact(fd.container)
+            except OSError:
+                pass
     return 0
 
 
@@ -220,16 +242,17 @@ def plfs_getattr(fd_or_path: Plfs_fd | str, *, size_only: bool = False) -> os.st
             # An open writer knows its own high-water mark; combine with the
             # on-disk view so handles stat correctly mid-write.  Building
             # the index is a metadata operation and is legal even on a
-            # write-only handle (O_APPEND needs it to find the end).
+            # write-only handle (O_APPEND needs it to find the end).  The
+            # on-disk size comes from the epoch-validated shared cache, so
+            # another handle's flush is always seen (the cache rebuilds on
+            # epoch change) while repeated stats of a quiet container cost
+            # one cache hit instead of an index merge; this handle's own
+            # unflushed records never exceed its high-water mark, which the
+            # max() below folds in.
             disk = container.cached_size()
             if disk is None:
-                from .reader import ReadFile  # local import: avoid cycle
-
-                probe = ReadFile(container, writer=fd_or_path.writer)
-                try:
-                    disk = probe.logical_size()
-                finally:
-                    probe.close()
+                loaded, _ = index_cache.shared_cache().get(container)
+                disk = loaded.index.logical_size
             size = max(disk, fd_or_path.writer.max_logical_end)
             return container.getattr(size=size)
         return container.getattr()
@@ -252,6 +275,7 @@ def plfs_exists(path: str) -> bool:
 
 def plfs_unlink(path: str) -> None:
     Container(path).unlink()
+    index_cache.invalidate(path)
 
 
 def plfs_create(path: str, mode: int = 0o644, pid: int | None = None) -> None:
@@ -285,6 +309,7 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
             fd.writer = WriteFile(container, wal=wal)
         else:
             container.wipe_data()
+        index_cache.invalidate(container.path)
         if fd is not None:
             fd.invalidate_reader()
         return
@@ -319,6 +344,8 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
 
 def plfs_rename(path: str, new_path: str) -> None:
     Container(path).rename(new_path)
+    index_cache.invalidate(path)
+    index_cache.invalidate(new_path)
 
 
 # ---------------------------------------------------------------------- #
@@ -390,6 +417,11 @@ def plfs_flatten_index(path: str, *, clip: int | None = None) -> int:
     container.clear_meta()
     if physical:
         container.drop_meta(last, physical)
+    index_cache.invalidate(container.path)
+    try:
+        index_cache.compact(container)
+    except OSError:
+        pass
     return physical
 
 

@@ -46,6 +46,21 @@ class BackingStore:
         with open(path, "w"):
             pass
 
+    def write_global_index(self, path: str, payload: bytes) -> None:
+        """Atomically replace the persistent compacted global index.
+
+        Write-then-rename so no reader ever observes a half-written file;
+        a crash before the rename leaves only an invisible temporary (the
+        previous compacted index, if any, stays intact).  The temporary
+        lives in the container root under a name neither dropping
+        enumeration nor compacted-index loading picks up; ``repro-fsck``
+        sweeps leftovers.
+        """
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+
     def fsync(self, fd: int) -> None:
         os.fsync(fd)
 

@@ -51,3 +51,33 @@ FORMAT_VERSION = 1
 
 #: Sentinel dropping id used in a read plan for a hole (unwritten region).
 HOLE = -1
+
+#: File name of the persistent compacted global index, stored in the
+#: container root (never inside a hostdir, so dropping enumeration ignores
+#: it).  Written on clean close and by ``repro-plfs compact``; validated
+#: against the container epoch and *never* trusted when stale — a reader
+#: that finds a mismatching or unparsable file silently falls back to
+#: merging the per-writer index droppings.
+GLOBAL_INDEX_FILE = "global.index"
+
+#: Magic string opening the compacted-global-index header.
+GLOBAL_INDEX_MAGIC = "plfs-global-index"
+
+#: Version of the compacted-global-index format; bump on incompatible change.
+GLOBAL_INDEX_VERSION = 1
+
+#: Default cap on a read handle's data-dropping descriptor cache.  One fd
+#: per dropping with no bound exhausts ``RLIMIT_NOFILE`` on wide containers
+#: (one dropping per writing rank); past the cap the least-recently-used
+#: descriptor is closed and reopened on demand.
+FD_CACHE_LIMIT = 64
+
+#: Maximum physical gap (bytes, within one data dropping) across which two
+#: plan slices are still serviced by a single pread — the data-sieving
+#: trade described by Thakur et al.: reading and discarding a small gap is
+#: cheaper than a second I/O.  Slices merge when physically adjacent or
+#: separated by at most this many bytes.
+READ_COALESCE_GAP = 4096
+
+#: Number of containers the process-wide shared index cache retains.
+INDEX_CACHE_CAPACITY = 64

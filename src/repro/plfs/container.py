@@ -10,6 +10,7 @@ containers; the read/write data paths live in :mod:`repro.plfs.reader` and
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 import stat as stat_module
@@ -168,6 +169,49 @@ class Container:
                     out.append(p)
         return out
 
+    # ------------------------------------------------------------------ #
+    # container epoch and the persistent compacted global index
+    # ------------------------------------------------------------------ #
+
+    def global_index_path(self) -> str:
+        """Backend path of the persistent compacted global index."""
+        return os.path.join(self.path, constants.GLOBAL_INDEX_FILE)
+
+    def index_epoch(self, droppings: list[tuple[str, str]] | None = None) -> str:
+        """Fingerprint of the container's dropping state.
+
+        The epoch folds in the dropping count plus every index/data
+        dropping's name, size and mtime, so *any* state a reader's global
+        index depends on — a new dropping, a data append, an index flush,
+        an fsck repair — changes it.  Both the compacted global index and
+        the process-wide shared index cache are validated against the
+        epoch and discarded on mismatch; computing it costs two ``stat``
+        calls per dropping, which is the whole point: cheap compared to
+        re-reading and re-merging every index dropping.
+        """
+        pairs = self.droppings() if droppings is None else droppings
+        h = hashlib.sha1()
+        h.update(str(len(pairs)).encode())
+        for index_path, data_path in pairs:
+            for p in (index_path, data_path):
+                try:
+                    st = os.stat(p)
+                    h.update(
+                        f"|{os.path.basename(p)}:{st.st_size}:{st.st_mtime_ns}".encode()
+                    )
+                except FileNotFoundError:
+                    h.update(f"|{os.path.basename(p)}:missing".encode())
+        return h.hexdigest()
+
+    def drop_global_index(self) -> bool:
+        """Delete the compacted global index if present (it is a cache:
+        deleting it only re-routes readers onto the slow merge path)."""
+        try:
+            os.unlink(self.global_index_path())
+            return True
+        except FileNotFoundError:
+            return False
+
     def wal_droppings(self) -> list[str]:
         """Write-ahead index droppings left behind by crashed (or still
         running) WAL-enabled writers, deterministically ordered."""
@@ -321,12 +365,14 @@ class Container:
         shutil.rmtree(self.path)
 
     def wipe_data(self) -> None:
-        """Drop all data (truncate to zero): remove droppings and meta."""
+        """Drop all data (truncate to zero): remove droppings, meta and the
+        compacted global index (which described the removed droppings)."""
         assert_container(self.path)
         for entry in os.listdir(self.path):
             if entry.startswith(constants.HOSTDIR_PREFIX):
                 shutil.rmtree(os.path.join(self.path, entry), ignore_errors=True)
         self.clear_meta()
+        self.drop_global_index()
 
     def rename(self, new_path: str) -> "Container":
         assert_container(self.path)

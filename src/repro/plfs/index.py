@@ -18,6 +18,7 @@ project's performance guides.
 
 from __future__ import annotations
 
+import json
 import os
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
@@ -238,6 +239,38 @@ class GlobalIndex:
         if record_arrays:
             self.add_records(np.concatenate(record_arrays) if len(record_arrays) > 1 else record_arrays[0])
 
+    @classmethod
+    def from_flat_segments(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        droppings: np.ndarray,
+        physical_offsets: np.ndarray,
+    ) -> "GlobalIndex":
+        """Build directly from already-flattened, sorted, non-overlapping
+        segments (a compacted global index), skipping the merge sweep.
+
+        The caller guarantees the invariants the sweep would otherwise
+        establish; nothing here re-checks them beyond monotonicity.
+        """
+        idx = cls()
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        droppings = np.asarray(droppings, dtype=np.int64)
+        physical_offsets = np.asarray(physical_offsets, dtype=np.int64)
+        if starts.size and (
+            np.any(starts[1:] < ends[:-1]) or np.any(ends <= starts)
+        ):
+            raise CorruptIndexError(
+                "compacted segments are not sorted and non-overlapping"
+            )
+        m = idx._map
+        m._starts = starts.tolist()
+        m._ends = ends.tolist()
+        m._payloads = list(zip(droppings.tolist(), physical_offsets.tolist()))
+        idx._frozen = (starts, ends, droppings, physical_offsets)
+        return idx
+
     def add_records(self, records: np.ndarray) -> None:
         """Merge *records* (with global dropping ids) into the index."""
         if records.size == 0:
@@ -285,29 +318,26 @@ class GlobalIndex:
         end = min(offset + length, size)
 
         starts, ends, drops, phys = self._arrays()
+        # Batched lookup: locate the whole window of overlapping segments
+        # with two bisections, clip them against [offset, end) vectorised,
+        # and convert to Python ints in bulk — the per-slice loop below
+        # only assembles ReadSlice objects and interleaves holes.
+        lo = int(np.searchsorted(ends, offset, side="right"))
+        hi = int(np.searchsorted(starts, end, side="left"))
+        clip_s = np.maximum(starts[lo:hi], offset).tolist()
+        clip_e = np.minimum(ends[lo:hi], end).tolist()
+        adj_p = (phys[lo:hi] + (np.maximum(starts[lo:hi], offset) - starts[lo:hi])).tolist()
+        drop_l = drops[lo:hi].tolist()
+
         plan: list[ReadSlice] = []
         pos = offset
-        # First segment that could overlap: last segment with start <= pos.
-        i = int(np.searchsorted(starts, pos, side="right")) - 1
-        if i < 0 or int(ends[i]) <= pos:
-            i += 1
-        while pos < end:
-            if i >= len(starts) or int(starts[i]) >= end:
-                plan.append(ReadSlice(pos, end - pos, constants.HOLE, 0))
-                break
-            seg_start, seg_end = int(starts[i]), int(ends[i])
-            if seg_start > pos:
-                gap_end = min(seg_start, end)
-                plan.append(ReadSlice(pos, gap_end - pos, constants.HOLE, 0))
-                pos = gap_end
-                continue
-            take_end = min(seg_end, end)
-            skip = pos - seg_start
-            plan.append(
-                ReadSlice(pos, take_end - pos, int(drops[i]), int(phys[i]) + skip)
-            )
-            pos = take_end
-            i += 1
+        for s, e, d, p in zip(clip_s, clip_e, drop_l, adj_p):
+            if s > pos:
+                plan.append(ReadSlice(pos, s - pos, constants.HOLE, 0))
+            plan.append(ReadSlice(s, e - s, d, p))
+            pos = e
+        if pos < end:
+            plan.append(ReadSlice(pos, end - pos, constants.HOLE, 0))
         return plan
 
     def segments(self) -> list[tuple[int, int, int, int]]:
@@ -347,6 +377,106 @@ def load_global_index(
                 recs["dropping"] = global_id
                 arrays.append(recs)
     return GlobalIndex(arrays), data_paths
+
+
+# ---------------------------------------------------------------------- #
+# persistent compacted global index
+# ---------------------------------------------------------------------- #
+
+def pack_compacted(
+    segments: list[tuple[int, int, int, int]],
+    data_paths: list[str],
+    epoch: str,
+    logical_size: int,
+) -> bytes:
+    """Serialise a flattened global index to the ``global.index`` format.
+
+    Layout: one JSON header line (magic, version, container epoch, record
+    count, data-dropping paths relative to the container root, logical
+    size), then ``records`` packed :data:`INDEX_DTYPE` entries holding the
+    non-overlapping segments sorted by logical offset.  ``pid`` and
+    ``timestamp`` are zeroed: a compacted index has no recency to resolve.
+    """
+    recs = np.zeros(len(segments), dtype=INDEX_DTYPE)
+    for i, (start, end, dropping, phys) in enumerate(segments):
+        recs[i]["logical_offset"] = start
+        recs[i]["length"] = end - start
+        recs[i]["dropping"] = dropping
+        recs[i]["physical_offset"] = phys
+    header = json.dumps(
+        {
+            "magic": constants.GLOBAL_INDEX_MAGIC,
+            "version": constants.GLOBAL_INDEX_VERSION,
+            "epoch": epoch,
+            "records": len(segments),
+            "data_paths": list(data_paths),
+            "logical_size": logical_size,
+        },
+        sort_keys=True,
+    )
+    return header.encode() + b"\n" + pack_records(recs)
+
+
+def parse_compacted(
+    data: bytes, *, source: str = "<memory>"
+) -> tuple[np.ndarray, list[str], str, int]:
+    """Parse a compacted global index; the inverse of :func:`pack_compacted`.
+
+    Returns ``(records, data_paths, epoch, logical_size)``.  Raises
+    :class:`CorruptIndexError` on any malformation — callers treat that as
+    "no compacted index" and fall back to merging droppings.
+    """
+    head, sep, body = data.partition(b"\n")
+    if not sep:
+        raise CorruptIndexError(f"compacted index {source}: missing header")
+    try:
+        header = json.loads(head.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CorruptIndexError(
+            f"compacted index {source}: unparsable header ({exc})"
+        ) from None
+    if (
+        not isinstance(header, dict)
+        or header.get("magic") != constants.GLOBAL_INDEX_MAGIC
+        or header.get("version") != constants.GLOBAL_INDEX_VERSION
+    ):
+        raise CorruptIndexError(
+            f"compacted index {source}: bad magic or unsupported version"
+        )
+    count = header.get("records")
+    paths = header.get("data_paths")
+    epoch = header.get("epoch")
+    size = header.get("logical_size", 0)
+    if (
+        not isinstance(count, int)
+        or not isinstance(paths, list)
+        or not all(isinstance(p, str) for p in paths)
+        or not isinstance(epoch, str)
+        or not isinstance(size, int)
+    ):
+        raise CorruptIndexError(f"compacted index {source}: malformed header")
+    if len(body) != count * RECORD_SIZE:
+        raise CorruptIndexError(
+            f"compacted index {source}: body is {len(body)} bytes, "
+            f"expected {count} records of {RECORD_SIZE} bytes"
+        )
+    records = parse_records(body, source=source)
+    if records.size and int(records["dropping"].max()) >= len(paths):
+        raise CorruptIndexError(
+            f"compacted index {source}: record references a dropping id "
+            "past the data-path table"
+        )
+    return records, paths, epoch, size
+
+
+def index_from_compacted(records: np.ndarray) -> GlobalIndex:
+    """Rehydrate a :class:`GlobalIndex` from compacted records."""
+    starts = records["logical_offset"].astype(np.int64)
+    ends = starts + records["length"].astype(np.int64)
+    return GlobalIndex.from_flat_segments(
+        starts, ends, records["dropping"].astype(np.int64),
+        records["physical_offset"].astype(np.int64),
+    )
 
 
 def make_record(

@@ -8,6 +8,7 @@ droppings (or with stale openhost markers).  Run from Python or as::
     python -m repro.plfs.tools check   /backend/file
     python -m repro.plfs.tools recover /backend/file
     python -m repro.plfs.tools usage   /backend/file
+    python -m repro.plfs.tools compact /backend/file
 """
 
 from __future__ import annotations
@@ -16,10 +17,11 @@ import os
 import sys
 from dataclasses import dataclass, field
 
+from . import cache as index_cache
 from . import constants, util
 from .container import Container, assert_container
 from .errors import CorruptIndexError
-from .index import load_global_index, read_index_dropping, split_torn
+from .index import load_global_index, parse_compacted, read_index_dropping, split_torn
 
 
 @dataclass
@@ -150,6 +152,26 @@ def plfs_check(path: str) -> ContainerReport:
                 if not os.path.exists(os.path.join(hostdir, data_name)):
                     report.warn(f"orphan index dropping: {os.path.join(entry, name)}")
 
+    # Compacted global index: a cache, never an authority — staleness or
+    # corruption only costs the fast lane, so both are warnings.
+    gpath = container.global_index_path()
+    if os.path.exists(gpath):
+        try:
+            with open(gpath, "rb") as fh:
+                _, _, file_epoch, _ = parse_compacted(fh.read(), source=gpath)
+        except (OSError, CorruptIndexError) as exc:
+            report.warn(
+                f"compacted global index unreadable ({exc}); readers fall "
+                "back to merging droppings (repro-plfs compact rebuilds it)"
+            )
+        else:
+            if file_epoch != container.index_epoch(pairs):
+                report.warn(
+                    "compacted global index is stale (container changed "
+                    "since it was written); readers fall back to merging "
+                    "droppings (repro-plfs compact rebuilds it)"
+                )
+
     if report.ok:
         index, _ = load_global_index(pairs)
         report.logical_size = index.logical_size
@@ -191,7 +213,40 @@ def plfs_recover(path: str) -> ContainerReport:
     physical = container.physical_bytes()
     if physical or index.logical_size:
         container.drop_meta(index.logical_size, physical)
+
+    # A compacted global index that no longer matches the droppings is a
+    # cache gone stale: delete it (like repro-fsck) rather than leave the
+    # post-repair check warning about it.
+    gpath = container.global_index_path()
+    if os.path.exists(gpath):
+        stale = True
+        try:
+            with open(gpath, "rb") as fh:
+                _, _, file_epoch, _ = parse_compacted(fh.read(), source=gpath)
+            stale = file_epoch != container.index_epoch()
+        except (OSError, CorruptIndexError):
+            pass
+        if stale:
+            container.drop_global_index()
+    index_cache.invalidate(container.path)
     return plfs_check(path)
+
+
+def plfs_compact(path: str) -> dict[str, int | str]:
+    """Flatten the container's global index into the persistent
+    ``global.index`` dropping, so subsequent reader opens skip the
+    per-dropping merge.  Safe to run any time no writer is appending;
+    a stale result is harmless (readers detect the epoch mismatch and
+    fall back to merging)."""
+    assert_container(path)
+    container = Container(path)
+    segments = index_cache.compact(container)
+    index_cache.invalidate(container.path)
+    return {
+        "path": container.global_index_path(),
+        "segments": segments,
+        "bytes": os.path.getsize(container.global_index_path()),
+    }
 
 
 def plfs_usage(path: str) -> dict[str, int | float]:
@@ -209,7 +264,7 @@ def plfs_usage(path: str) -> dict[str, int | float]:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2 or argv[0] not in {"check", "recover", "usage"}:
+    if len(argv) != 2 or argv[0] not in {"check", "recover", "usage", "compact"}:
         print(__doc__, file=sys.stderr)
         return 2
     command, path = argv
@@ -221,6 +276,11 @@ def main(argv: list[str] | None = None) -> int:
         report = plfs_recover(path)
         print(report.render())
         return 0 if report.ok else 1
+    if command == "compact":
+        info = plfs_compact(path)
+        for key, value in info.items():
+            print(f"{key:15s} {value}")
+        return 0
     usage = plfs_usage(path)
     for key, value in usage.items():
         print(f"{key:15s} {value}")

@@ -15,6 +15,7 @@ import os
 import numpy as np
 
 from . import backing, util
+from .cache import invalidate as _invalidate_index_cache
 from .container import Container
 from .errors import BadFlagsError
 from .index import INDEX_DTYPE, make_record, pack_records
@@ -249,6 +250,9 @@ class WriteFile:
         d = self._droppings[pid]
         if len(d.pending) >= INDEX_FLUSH_THRESHOLD:
             d.flush_index()
+            # Records just became visible on disk: readers holding a
+            # cached index must rebuild to see them.
+            _invalidate_index_cache(self.container.path)
         return written
 
     # ------------------------------------------------------------------ #
@@ -282,10 +286,14 @@ class WriteFile:
     def sync(self) -> None:
         for d in self._droppings.values():
             d.sync()
+        _invalidate_index_cache(self.container.path)
 
     def flush_indexes(self) -> None:
+        flushed = any(d.pending for d in self._droppings.values())
         for d in self._droppings.values():
             d.flush_index()
+        if flushed:
+            _invalidate_index_cache(self.container.path)
 
     def close(self) -> None:
         if self._closed:
@@ -293,6 +301,7 @@ class WriteFile:
         for d in self._droppings.values():
             d.close()
         self._closed = True
+        _invalidate_index_cache(self.container.path)
 
     def abandon(self) -> None:
         """Tear down as if the writing process died (SIGKILL semantics):

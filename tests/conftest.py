@@ -7,6 +7,22 @@ import os
 import pytest
 
 from repro.core.interpose import Interposer
+from repro.plfs.cache import shared_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_index_cache():
+    """Isolate tests from the process-wide shared index cache.
+
+    Entries are keyed by absolute container path; tmp_path reuse across
+    runs (or stats accumulated by an earlier test) must never leak into
+    the next test's assertions."""
+    cache = shared_cache()
+    cache.clear()
+    cache.reset_stats()
+    yield
+    cache.clear()
+    cache.reset_stats()
 
 
 def pytest_addoption(parser):

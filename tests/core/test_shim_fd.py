@@ -280,3 +280,47 @@ class TestFdMetadata:
         assert exc.value.errno == errno.EINVAL
         os.close(fd_in)
         os.close(fd_out)
+
+
+class TestCrossDescriptorFreshness:
+    """Regression: logical size served to one descriptor must reflect
+    another descriptor's synced writes (each ``os.open`` makes its own
+    PLFS handle, so this crosses handles, not just cursors)."""
+
+    def test_fstat_sees_other_descriptor_sync(self, interposer, f):
+        wfd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        rfd = os.open(f, os.O_RDONLY)
+        assert os.fstat(rfd).st_size == 0
+        os.write(wfd, b"x" * 100)
+        os.fsync(wfd)
+        assert os.fstat(rfd).st_size == 100
+        os.write(wfd, b"y" * 28)
+        os.fsync(wfd)
+        assert os.fstat(rfd).st_size == 128
+        os.close(wfd)
+        os.close(rfd)
+
+    def test_seek_end_sees_other_descriptor_sync(self, interposer, f):
+        wfd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        rfd = os.open(f, os.O_RDONLY)
+        os.write(wfd, b"0123456789")
+        os.fsync(wfd)
+        assert os.lseek(rfd, 0, os.SEEK_END) == 10
+        os.write(wfd, b"abcdef")
+        os.fsync(wfd)
+        assert os.lseek(rfd, -6, os.SEEK_END) == 10
+        assert os.read(rfd, 6) == b"abcdef"
+        os.close(wfd)
+        os.close(rfd)
+
+    def test_read_sees_other_descriptor_sync(self, interposer, f):
+        wfd = os.open(f, os.O_CREAT | os.O_WRONLY)
+        rfd = os.open(f, os.O_RDONLY)
+        os.write(wfd, b"first")
+        os.fsync(wfd)
+        assert os.pread(rfd, 5, 0) == b"first"
+        os.pwrite(wfd, b"SECOND", 0)
+        os.fsync(wfd)
+        assert os.pread(rfd, 6, 0) == b"SECOND"
+        os.close(wfd)
+        os.close(rfd)

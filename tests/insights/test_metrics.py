@@ -182,3 +182,56 @@ class TestProfileProperties:
     def test_zero_elapsed_bandwidth(self):
         p = IORunProfile(source="trace")
         assert p.write_bandwidth_mbps == 0.0
+
+
+class TestReadPathEvidence:
+    def test_attach_read_path_evidence_folds_counters(self):
+        from repro.insights import attach_read_path_evidence
+
+        p = IORunProfile(source="trace")
+        attach_read_path_evidence(
+            p,
+            cache_stats={
+                "hits": 7,
+                "misses": 2,
+                "compacted_loads": 1,
+                "merged_builds": 1,
+            },
+            read_stats={"preads": 12, "coalesced_slices": 5},
+        )
+        assert p.index_cache_hits == 7
+        assert p.index_cache_misses == 2
+        assert p.compacted_index_loads == 1
+        assert p.index_rebuild_ops == 1
+        assert p.read_preads == 12
+        assert p.read_preads_coalesced == 5
+        d = p.as_dict()
+        assert d["index_cache_hits"] == 7
+        assert d["read_preads_coalesced"] == 5
+
+    def test_attach_read_path_evidence_accepts_live_objects(
+        self, tmp_path
+    ):
+        from repro import plfs
+        from repro.insights import attach_read_path_evidence
+        from repro.plfs.cache import shared_cache
+        from repro.plfs.container import Container
+        from repro.plfs.reader import ReadFile
+
+        path = str(tmp_path / "f")
+        fd = plfs.plfs_open(path, os.O_CREAT | os.O_WRONLY)
+        plfs.plfs_write(fd, b"x" * 64, 64, 0)
+        plfs.plfs_close(fd)
+        cache = shared_cache()
+        cache.clear()
+        cache.reset_stats()
+        with ReadFile(Container(path)) as r:
+            r.read(64, 0)
+            p = attach_read_path_evidence(
+                IORunProfile(source="trace"),
+                cache_stats=cache.stats,
+                read_stats=r.stats,
+            )
+        assert p.index_cache_misses == 1
+        assert p.compacted_index_loads == 1  # clean close compacted
+        assert p.read_preads == 1

@@ -200,7 +200,10 @@ class TestReadFile:
         r.close()
         w.close()
 
-    def test_refresh_picks_up_new_droppings(self, container):
+    def test_cross_handle_sync_is_visible_without_refresh(self, container):
+        # Regression: a reader built before another handle's sync used to
+        # serve the stale index forever; the sync's cache invalidation now
+        # makes the next read revalidate and see the new droppings.
         w1 = WriteFile(container)
         w1.write(b"one", 0, pid=1)
         w1.sync()
@@ -209,8 +212,8 @@ class TestReadFile:
         w2 = WriteFile(container)
         w2.write(b"two", 3, pid=2)
         w2.sync()
-        assert r.read(6, 0) == b"one"  # cached index: old view
-        r.refresh()
+        assert r.read(6, 0) == b"onetwo"
+        r.refresh()  # explicit refresh still works and agrees
         assert r.read(6, 0) == b"onetwo"
         r.close()
         w1.close()
