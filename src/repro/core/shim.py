@@ -217,6 +217,8 @@ class Shim:
         """plfs_write with transient retry *and* short-write resumption:
         the application's single call either writes everything or raises."""
         view = memoryview(data)
+        if view.itemsize != 1:
+            view = view.cast("B") if view.contiguous else memoryview(view.tobytes())
         if len(view) == 0:
             return self._with_retry(
                 lambda: plfs_api.plfs_write(plfs_fd, b"", 0, offset)
@@ -360,7 +362,6 @@ class Shim:
             offset = plfs_api.plfs_getattr(entry.plfs_fd).st_size
         else:
             offset = self.table.tell(entry)
-        data = bytes(data) if isinstance(data, memoryview) else data
         n = self._write_fully(entry.plfs_fd, data, offset)
         self.table.set_cursor(entry, offset + n)
         return n
@@ -404,13 +405,39 @@ class Shim:
         return len(data)
 
     def _writev_at(self, entry, buffers, offset) -> int:
-        total = 0
+        # Mirror of _readv_at: the buffers cover one contiguous logical
+        # span, so the whole iovec goes down as a single plfs_writev (one
+        # data append, one index record) instead of one plfs_write per
+        # buffer.  On a short vectored write the remaining views resume
+        # from the cut point, like _write_fully does for single buffers.
+        views = []
         for buf in buffers:
-            data = bytes(buf)
-            n = self._write_fully(entry.plfs_fd, data, offset + total)
-            total += n
-            if n < len(data):  # pragma: no cover - _write_fully completes
+            v = memoryview(buf)
+            if v.itemsize != 1:
+                v = v.cast("B") if v.contiguous else memoryview(v.tobytes())
+            views.append(v)
+        want = sum(len(v) for v in views)
+        if not want:
+            return 0
+        total = 0
+        while total < want:
+            remaining, skip = [], total
+            for view in views:
+                if skip >= len(view):
+                    skip -= len(view)
+                    continue
+                remaining.append(view[skip:] if skip else view)
+                skip = 0
+            at = offset + total
+            bufs = remaining
+            n = self._with_retry(
+                lambda: plfs_api.plfs_writev(entry.plfs_fd, bufs, at)
+            )
+            if n <= 0:  # pragma: no cover - defensive: no-progress guard
                 break
+            total += n
+            if total < want:
+                self.stats["short_write_resumes"] += 1
         return total
 
     def readv(self, fd, buffers):
@@ -487,7 +514,6 @@ class Shim:
         self._count(True)
         if not entry.writable:
             raise OSError(errno.EBADF, os.strerror(errno.EBADF))
-        data = bytes(data) if isinstance(data, memoryview) else data
         # POSIX semantics: pwrite honours the explicit offset even with
         # O_APPEND (we do not copy Linux's deviation) and never moves the
         # cursor.
@@ -894,7 +920,7 @@ class _PlfsRawIO(io.RawIOBase):
         return n
 
     def write(self, b) -> int:
-        return self._shim.write(self._fd, bytes(b))
+        return self._shim.write(self._fd, b)
 
     def seek(self, pos, whence=os.SEEK_SET) -> int:
         return self._shim.lseek(self._fd, pos, whence)

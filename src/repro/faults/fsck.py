@@ -176,9 +176,34 @@ def _repair_dropping(
         if not dry_run:
             with open(index_path, "wb") as fh:
                 fh.write(pack_records(clipped))
-            os.unlink(wal_path)
         # The clipped WAL byte(s) were never acknowledged to the writer —
         # clipping is reconciliation, not loss; no unrecoverable verdict.
+        # Data bytes *past* the WAL coverage are a different matter: with
+        # group commit (wal_batch > 1) a crash inside a batch window can
+        # land appends whose records never reached the WAL.  Nothing on
+        # disk maps those bytes, so they are trimmed and reported — the
+        # batch-boundary half of the recovery invariant.
+        indexed_end = 0
+        if clipped.shape[0]:
+            indexed_end = int((clipped["physical_offset"] + clipped["length"]).max())
+        if data_size > indexed_end:
+            stranded = data_size - indexed_end
+            report.act(
+                "trim-unindexed-tail",
+                rel_data,
+                f"trimmed {stranded} data byte(s) past the write-ahead coverage",
+            )
+            report.trimmed_bytes += stranded
+            report.lose(
+                f"{stranded} byte(s) in {rel_data} were appended inside a "
+                "write-ahead batch window whose records never reached the "
+                "WAL (the writer died before the batch flush)"
+            )
+            if not dry_run:
+                with open(data_path, "ab") as fh:
+                    fh.truncate(indexed_end)
+        if not dry_run:
+            os.unlink(wal_path)
         return
 
     if not os.path.exists(index_path):
@@ -357,8 +382,18 @@ def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
             )
             if not dry_run:
                 os.unlink(os.path.join(path, name))
+        elif name.startswith(constants.GENERATION_FILE + ".tmp."):
+            report.act(
+                "sweep-generation-tmp",
+                name,
+                "leftover temporary from an interrupted generation bump",
+            )
+            if not dry_run:
+                os.unlink(os.path.join(path, name))
     if not dry_run:
         invalidate_index_cache(container.path)
+        # Repairs changed what readers should see; tell other processes.
+        container.bump_generation()
 
     # 7. verify
     report.check = plfs_check(path)

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro import plfs
 from repro.plfs.api import OpenOptions
 
-from .injector import FaultEvent, FaultInjector, InjectedCrash
+from .injector import FaultEvent, FaultInjector, FaultSpec, InjectedCrash
 from .matrix import FaultCase
 
 
@@ -129,6 +129,7 @@ def run_schedule(
     schedule: list[WriteOp],
     *,
     wal: bool = False,
+    wal_batch: int = 1,
     injector: FaultInjector | None = None,
     sync_every: int | None = None,
 ) -> RunOutcome:
@@ -136,7 +137,7 @@ def run_schedule(
     tracking the shadow bookkeeping a later comparison needs.  An
     :class:`InjectedCrash` ends the run the way SIGKILL would."""
     out = RunOutcome(schedule=schedule, wal=wal)
-    opts = OpenOptions(write_ahead_index=wal)
+    opts = OpenOptions(write_ahead_index=wal, wal_batch_records=wal_batch)
     fd = plfs.plfs_open(path, os.O_CREAT | os.O_RDWR, mode=0o644, open_opt=opts)
     ctx = injector.armed() if injector is not None else nullcontext()
     current: WriteOp | None = None
@@ -175,16 +176,37 @@ def arm_for_case(case: FaultCase, schedule: list[WriteOp], seed: int = 0) -> Fau
     """Build the injector for one matrix case, targeting an operation
     deep enough into the schedule to be interesting: data/WAL faults fire
     two-thirds of the way through, index-flush faults on the second flush
-    (i.e. after one successful sync), meta faults on the only meta write."""
+    (i.e. after one successful sync), meta faults on the close-time meta
+    drop.  A case's explicit ``fire_op`` overrides the default position
+    (batch-window cases must land at a precise phase of the window), and
+    its ``companions`` are armed alongside."""
     if case.mode != "inject":
         return None
-    if case.point == "meta_create":
-        op = 1
+    if case.fire_op is not None:
+        op = case.fire_op
+    elif case.point == "meta_create":
+        # create_meta op 1 is the writer's index-dropping touch at the
+        # first write; op 2 is the cached-size meta drop at close time.
+        op = 2
     elif case.point == "index_flush":
         op = 2
     else:
         op = max(1, (2 * len(schedule)) // 3)
-    return FaultInjector([case.spec(op)], seed=seed)
+    specs = [case.spec(op)]
+    for comp in case.companions:
+        if "op" in comp:
+            comp_op = comp["op"]
+        else:
+            comp_op = max(1, int(comp["op_frac"] * len(schedule)))
+        specs.append(
+            FaultSpec(
+                comp["point"],
+                comp["behavior"],
+                op=comp_op,
+                **comp.get("params", {}),
+            )
+        )
+    return FaultInjector(specs, seed=seed)
 
 
 def default_sync_every(case: FaultCase, schedule: list[WriteOp]) -> int | None:
@@ -210,7 +232,12 @@ def run_case(
     if sync_every is None:
         sync_every = default_sync_every(case, schedule)
     out = run_schedule(
-        path, schedule, wal=wal, injector=injector, sync_every=sync_every
+        path,
+        schedule,
+        wal=wal,
+        wal_batch=case.wal_batch if wal else 1,
+        injector=injector,
+        sync_every=sync_every,
     )
     if case.mode == "damage":
         case.damage(path)

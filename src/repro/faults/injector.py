@@ -16,10 +16,15 @@ Injection points (the ``point`` of a :class:`FaultSpec`):
 ========= ==============================================================
 point      operation
 ========= ==============================================================
-data_write  append to a data dropping (``BackingStore.write_data``)
+data_write  append to a data dropping (``BackingStore.write_data`` and
+            the vectored ``write_datav`` share one operation counter:
+            either way it is one data append)
 index_flush append packed records to an index dropping (``append_index``)
-wal_write   append one record to a write-ahead dropping (``write_wal``)
-meta_create create a cached-metadata dropping (``create_meta``)
+wal_write   append one record batch to a write-ahead dropping
+            (``write_wal``; with group commit one call covers a whole
+            batch window)
+meta_create create an empty dropping file (``create_meta``: cached-meta
+            droppings *and* the writer's index-dropping touch at open)
 fsync       fsync a data dropping (``fsync``)
 global_index write the compacted global index (``write_global_index``)
 ========= ==============================================================
@@ -287,6 +292,15 @@ class FaultyBackingStore(backing.BackingStore):
         if spec is not None:
             return self._fail(spec, op, path, buf, fd)
         return self.inner.write_data(fd, buf, path)
+
+    def write_datav(self, fd: int, buffers, path: str) -> int:
+        spec, op = self.injector.decide("data_write")
+        if spec is not None:
+            # A vectored append is one data_write operation; flatten the
+            # iovec so short/torn cuts land at exact byte positions.
+            joined = b"".join(bytes(b) for b in buffers)
+            return self._fail(spec, op, path, joined, fd)
+        return self.inner.write_datav(fd, buffers, path)
 
     def append_index(self, path: str, payload: bytes) -> int:
         spec, op = self.injector.decide("index_flush")

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.plfs import constants
+from repro.plfs.index import RECORD_SIZE
 
 from .injector import FaultSpec
 
@@ -54,6 +55,16 @@ class FaultCase:
     crashes: bool = False
     #: only meaningful when the write-ahead arm is on (faults the WAL itself)
     wal_only: bool = False
+    #: group-commit window the WAL arm runs with (1 = strict per-append)
+    wal_batch: int = 1
+    #: fire on exactly this operation number, overriding the harness's
+    #: default arm position (needed when the fault must land at a precise
+    #: phase of a batch window)
+    fire_op: int | None = None
+    #: additional faults armed alongside the primary one; each entry is a
+    #: dict with "point", "behavior", optional "params", and either "op"
+    #: (absolute) or "op_frac" (fraction of the schedule length)
+    companions: tuple = ()
     #: damage function (damage mode): takes the container path
     damage: Callable[[str], None] | None = None
 
@@ -228,6 +239,35 @@ FAULT_MATRIX: tuple[FaultCase, ...] = (
         recoverable_without_wal=True,
     ),
     FaultCase(
+        name="short-write-then-crash-before-index-flush",
+        mode="inject",
+        point="index_flush",
+        behavior="crash",
+        crashes=True,
+        companions=(
+            {
+                "point": "data_write",
+                "behavior": "short",
+                "params": {"short_bytes": 3},
+                "op_frac": 0.75,
+            },
+        ),
+        description="a mid-stream append persists only a prefix (short "
+        "write), more appends follow in the same dropping, then the "
+        "process is killed before the index flush — the WAL record for "
+        "the short write promised the full length but physical_offset "
+        "only advanced by the acknowledged bytes",
+        invariant="with WAL: fsck clips the short write's promised record "
+        "to the bytes that landed (bounded by the next record's physical "
+        "start, so the later appends stay correctly mapped) and the file "
+        "reads back byte-identical to the acknowledged writes; without "
+        "WAL: the records buffered since the last sync die with the "
+        "process, the unindexed tail is trimmed and reported "
+        "unrecoverable",
+        recoverable_with_wal=True,
+        recoverable_without_wal=False,
+    ),
+    FaultCase(
         name="enospc-meta-create",
         mode="inject",
         point="meta_create",
@@ -240,6 +280,48 @@ FAULT_MATRIX: tuple[FaultCase, ...] = (
         "reads back byte-identical",
         recoverable_with_wal=True,
         recoverable_without_wal=True,
+    ),
+    FaultCase(
+        name="crash-inside-wal-batch",
+        mode="inject",
+        point="data_write",
+        behavior="crash",
+        crashes=True,
+        wal_only=True,
+        wal_batch=4,
+        fire_op=10,
+        description="group commit (wal_batch=4): the process is killed at "
+        "a data append while earlier appends in the same batch window "
+        "already landed — their write-ahead records were buffered, never "
+        "flushed",
+        invariant="the batch-boundary half of the recovery invariant: "
+        "fsck rebuilds the index from the flushed batches, trims the "
+        "data bytes appended inside the open batch window (nothing on "
+        "disk maps them), and reports them unrecoverable; everything up "
+        "to the last batch boundary reads back byte-identical",
+        recoverable_with_wal=False,
+        recoverable_without_wal=False,
+    ),
+    FaultCase(
+        name="torn-wal-batch-flush",
+        mode="inject",
+        point="wal_write",
+        behavior="torn",
+        params={"short_bytes": RECORD_SIZE + 5},
+        crashes=True,
+        wal_only=True,
+        wal_batch=4,
+        fire_op=2,
+        description="group commit (wal_batch=4): the process is killed "
+        "mid-batch-flush — one whole record of the batch reached the "
+        "WAL, the rest tore, and the previous window's data appends "
+        "already landed",
+        invariant="fsck keeps the WAL's whole-record prefix (flushed "
+        "batches plus the surviving head of the torn one), trims data "
+        "bytes past that coverage, and reports them unrecoverable; the "
+        "covered prefix reads back byte-identical",
+        recoverable_with_wal=False,
+        recoverable_without_wal=False,
     ),
     FaultCase(
         name="lost-index-droppings",

@@ -18,6 +18,7 @@ from .metrics import (
     IORunProfile,
     attach_fault_evidence,
     attach_read_path_evidence,
+    attach_write_path_evidence,
     profile_from_run,
     profile_from_trace,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "IORunProfile",
     "attach_fault_evidence",
     "attach_read_path_evidence",
+    "attach_write_path_evidence",
     "profile_from_run",
     "profile_from_trace",
     "Finding",

@@ -116,6 +116,15 @@ class IORunProfile:
     read_preads: int = 0
     read_preads_coalesced: int = 0
 
+    # write-path fast lane evidence (repro.plfs.writer WriteFile counters)
+    write_appends: int = 0
+    write_records_merged: int = 0
+    write_index_flushes: int = 0
+    wal_records: int = 0
+    wal_batches: int = 0
+    write_vectored_appends: int = 0
+    write_zero_copy_appends: int = 0
+
     # trace-only bookkeeping
     buffered_opaque_files: int = 0
     files: list[dict] = field(default_factory=list)
@@ -186,6 +195,13 @@ class IORunProfile:
             "compacted_index_loads": self.compacted_index_loads,
             "read_preads": self.read_preads,
             "read_preads_coalesced": self.read_preads_coalesced,
+            "write_appends": self.write_appends,
+            "write_records_merged": self.write_records_merged,
+            "write_index_flushes": self.write_index_flushes,
+            "wal_records": self.wal_records,
+            "wal_batches": self.wal_batches,
+            "write_vectored_appends": self.write_vectored_appends,
+            "write_zero_copy_appends": self.write_zero_copy_appends,
             "buffered_opaque_files": self.buffered_opaque_files,
             "write_bandwidth_mbps": self.write_bandwidth_mbps,
         }
@@ -247,6 +263,37 @@ def attach_read_path_evidence(
         profile.read_preads += int(read_stats.get("preads", 0))
         profile.read_preads_coalesced += int(
             read_stats.get("coalesced_slices", 0)
+        )
+    return profile
+
+
+def attach_write_path_evidence(
+    profile: IORunProfile,
+    *,
+    writer_stats: dict | None = None,
+) -> IORunProfile:
+    """Fold write-path fast-lane counters into *profile* (returns it).
+
+    *writer_stats* is a :class:`repro.plfs.writer.WriteFile` ``stats``
+    dict (appends, merge/flush counts, WAL group-commit batches, vectored
+    and zero-copy appends).  Decoupled like the other evidence hooks:
+    insights consumes a plain counter dict, never plfs objects.
+    """
+    if writer_stats:
+        profile.write_appends += int(writer_stats.get("appends", 0))
+        profile.write_records_merged += int(
+            writer_stats.get("records_merged", 0)
+        )
+        profile.write_index_flushes += int(
+            writer_stats.get("index_flushes", 0)
+        )
+        profile.wal_records += int(writer_stats.get("wal_records", 0))
+        profile.wal_batches += int(writer_stats.get("wal_batches", 0))
+        profile.write_vectored_appends += int(
+            writer_stats.get("vectored_appends", 0)
+        )
+        profile.write_zero_copy_appends += int(
+            writer_stats.get("zero_copy_appends", 0)
         )
     return profile
 

@@ -60,6 +60,7 @@ from .api import (
     plfs_trunc,
     plfs_unlink,
     plfs_write,
+    plfs_writev,
 )
 from .container import Container, is_container
 from .errors import (
@@ -100,6 +101,7 @@ __all__ = [
     "plfs_read",
     "plfs_read_into",
     "plfs_write",
+    "plfs_writev",
     "plfs_sync",
     "plfs_getattr",
     "plfs_access",

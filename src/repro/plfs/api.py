@@ -42,6 +42,14 @@ class OpenOptions:
     #: append, making a crashed writer's index rebuildable by ``repro-fsck``
     #: at the cost of one small sequential write per call
     write_ahead_index: bool = False
+    #: group-commit window for the write-ahead index: records per
+    #: ``write_wal`` batch.  1 (the default) is the strict per-append
+    #: ordering; larger windows amortise the WAL syscall over many small
+    #: writes at the cost of intra-batch crash coverage — a crash inside a
+    #: batch can strand up to ``wal_batch_records - 1`` appends' bytes past
+    #: the WAL coverage, which ``repro-fsck`` trims and reports.
+    #: ``plfs_sync`` is always a hard barrier.
+    wal_batch_records: int = 1
     #: flatten the merged global index into the persistent ``global.index``
     #: dropping when the last writer closes cleanly, so subsequent opens
     #: load one compacted file instead of re-merging every index dropping
@@ -142,7 +150,8 @@ def plfs_open(
         fd.compact_on_close = open_opt.compact_on_close
     if fd.writable:
         wal = bool(open_opt and open_opt.write_ahead_index)
-        fd.writer = WriteFile(container, wal=wal)
+        wal_batch = open_opt.wal_batch_records if open_opt is not None else 1
+        fd.writer = WriteFile(container, wal=wal, wal_batch=wal_batch)
         try:
             container.register_open(pid)
         except OSError:
@@ -197,14 +206,51 @@ def plfs_ref(fd: Plfs_fd) -> Plfs_fd:
 # ---------------------------------------------------------------------- #
 
 
+def _as_buffer(buf):
+    """Normalise *buf* to a zero-copy byte view where the buffer protocol
+    allows it (contiguous buffers become a flat ``memoryview``; only
+    non-contiguous or non-buffer inputs pay a copy)."""
+    if isinstance(buf, (bytes, bytearray, memoryview)) and (
+        not isinstance(buf, memoryview) or (buf.contiguous and buf.itemsize == 1)
+    ):
+        return buf
+    try:
+        view = memoryview(buf)
+    except TypeError:
+        return bytes(buf)
+    if view.contiguous:
+        return view.cast("B")
+    return view.tobytes()
+
+
 def plfs_write(fd: Plfs_fd, buf, count: int | None = None, offset: int = 0, pid: int | None = None) -> int:
-    """Write ``buf[:count]`` at logical *offset*; returns bytes written."""
+    """Write ``buf[:count]`` at logical *offset*; returns bytes written.
+
+    Any bytes-like object is accepted; contiguous buffers (including
+    ``memoryview`` slices the shim produces for short-write resumption)
+    thread through the write path without copying.
+    """
     if fd.writer is None:
         raise BadFlagsError("handle not open for writing")
-    data = bytes(buf) if not isinstance(buf, (bytes, bytearray, memoryview)) else buf
+    data = _as_buffer(buf)
     if count is not None:
         data = memoryview(data)[:count]
     n = fd.writer.write(data, offset, fd.pid if pid is None else pid)
+    fd.mark_dirty()
+    return n
+
+
+def plfs_writev(fd: Plfs_fd, buffers, offset: int = 0, pid: int | None = None) -> int:
+    """Vectored write: *buffers* land contiguously from *offset* as one
+    data append plus one (possibly merged) index record — the
+    ``writev``/``pwritev`` fast path.  Returns total bytes written."""
+    if fd.writer is None:
+        raise BadFlagsError("handle not open for writing")
+    views = [_as_buffer(b) for b in buffers]
+    views = [v for v in views if len(v)]
+    if not views:
+        return 0
+    n = fd.writer.append_many(views, offset, fd.pid if pid is None else pid)
     fd.mark_dirty()
     return n
 
@@ -303,10 +349,10 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
 
     if offset == 0:
         if fd is not None and fd.writer is not None:
-            wal = fd.writer.wal
+            wal, wal_batch = fd.writer.wal, fd.writer.wal_batch
             fd.writer.close()
             container.wipe_data()
-            fd.writer = WriteFile(container, wal=wal)
+            fd.writer = WriteFile(container, wal=wal, wal_batch=wal_batch)
         else:
             container.wipe_data()
         index_cache.invalidate(container.path)
@@ -332,10 +378,10 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
     # writer must be recycled: its droppings are replaced by the compaction
     # and its high-water mark would otherwise report the pre-shrink size.
     if fd is not None and fd.writer is not None:
-        wal = fd.writer.wal
+        wal, wal_batch = fd.writer.wal, fd.writer.wal_batch
         fd.writer.close()
         plfs_flatten_index(path, clip=offset)
-        fd.writer = WriteFile(container, wal=wal)
+        fd.writer = WriteFile(container, wal=wal, wal_batch=wal_batch)
     else:
         plfs_flatten_index(path, clip=offset)
     if fd is not None:

@@ -32,6 +32,24 @@ class BackingStore:
         """Append *buf* to an open data dropping; returns bytes written."""
         return os.write(fd, buf)
 
+    def write_datav(self, fd: int, buffers, path: str) -> int:
+        """Vectored append to an open data dropping; returns bytes written.
+
+        One gather write for a whole iovec (the ``writev``/``pwritev``
+        fast path), falling back to sequential writes where ``os.writev``
+        is unavailable.  A short write stops the sequence — callers treat
+        the return exactly like a short :meth:`write_data`.
+        """
+        if hasattr(os, "writev"):
+            return os.writev(fd, list(buffers))
+        total = 0
+        for buf in buffers:
+            n = os.write(fd, buf)
+            total += n
+            if n < len(buf):
+                break
+        return total
+
     def append_index(self, path: str, payload: bytes) -> int:
         """Append packed index records to an index dropping."""
         with open(path, "ab") as fh:

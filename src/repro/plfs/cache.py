@@ -224,3 +224,15 @@ def shared_cache() -> IndexCache:
 def invalidate(path: str) -> None:
     """Convenience: invalidate *path* in the shared cache."""
     _shared.invalidate(path)
+
+
+def invalidate_cross_process(container: Container) -> None:
+    """Write-path invalidation visible to *every* process.
+
+    The in-process generation bump covers read handles sharing this
+    cache; the container's generation file covers readers in other
+    processes, which detect the fresh ``(inode, mtime_ns)`` token with a
+    single ``stat`` in their revalidation path.
+    """
+    _shared.invalidate(container.path)
+    container.bump_generation()

@@ -81,3 +81,12 @@ READ_COALESCE_GAP = 4096
 
 #: Number of containers the process-wide shared index cache retains.
 INDEX_CACHE_CAPACITY = 64
+
+#: File name of the per-container generation file, stored in the container
+#: root.  Atomically replaced (write + rename, so it gets a fresh inode and
+#: mtime) by every write-path flush/sync/close, it lets readers in *other*
+#: processes detect that their cached index went stale with one ``stat``.
+#: Purely advisory: a missing or unreadable generation file only disables
+#: the cross-process fast check, never correctness (the container epoch
+#: remains the authority).
+GENERATION_FILE = "generation"

@@ -203,6 +203,48 @@ class Container:
                     h.update(f"|{os.path.basename(p)}:missing".encode())
         return h.hexdigest()
 
+    # ------------------------------------------------------------------ #
+    # cross-process generation protocol
+    # ------------------------------------------------------------------ #
+
+    def generation_path(self) -> str:
+        """Backend path of the per-container generation file."""
+        return os.path.join(self.path, constants.GENERATION_FILE)
+
+    def bump_generation(self) -> None:
+        """Signal readers in other processes that the container changed.
+
+        Write-then-rename, so the generation file atomically gets a fresh
+        inode and mtime; a reader holding a cached index compares the
+        ``(inode, mtime_ns)`` token it captured at build time with one
+        ``stat`` and refreshes on mismatch.  The protocol is purely
+        advisory — a full backend or read-only medium just loses the fast
+        cross-process staleness check, so failures are swallowed — and the
+        in-process shared cache (validated by the container epoch) remains
+        the correctness authority.
+        """
+        gen = self.generation_path()
+        tmp = f"{gen}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(f"{util.unique_timestamp():.9f}\n")
+            os.replace(tmp, gen)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def generation_token(self) -> tuple[int, int] | None:
+        """Current ``(inode, mtime_ns)`` of the generation file, or None
+        when the container has never been written through the generation
+        protocol (or the file is unreadable)."""
+        try:
+            st = os.stat(self.generation_path())
+        except OSError:
+            return None
+        return (st.st_ino, st.st_mtime_ns)
+
     def drop_global_index(self) -> bool:
         """Delete the compacted global index if present (it is a cache:
         deleting it only re-routes readers onto the slow merge path)."""
@@ -373,6 +415,7 @@ class Container:
                 shutil.rmtree(os.path.join(self.path, entry), ignore_errors=True)
         self.clear_meta()
         self.drop_global_index()
+        self.bump_generation()
 
     def rename(self, new_path: str) -> "Container":
         assert_container(self.path)

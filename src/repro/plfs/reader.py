@@ -101,6 +101,7 @@ class ReadFile:
         self._coalesce = coalesce
         self._use_shared_cache = use_shared_cache
         self._generation: int | None = None
+        self._gen_token: tuple[int, int] | None = None
         self._closed = False
         #: read-path counters (surfaced into repro.insights profiles)
         self.stats = {
@@ -109,6 +110,7 @@ class ReadFile:
             "coalesced_slices": 0,
             "bytes_read": 0,
             "sieved_gap_bytes": 0,
+            "cross_process_refreshes": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -117,6 +119,7 @@ class ReadFile:
 
     def _build_index(self) -> None:
         self.stats["index_builds"] += 1
+        self._gen_token = self.container.generation_token()
         cache = shared_cache()
         if self._writer is None and self._use_shared_cache:
             loaded, generation = cache.get(self.container)
@@ -149,11 +152,21 @@ class ReadFile:
         self._drop_fds()
 
     def _revalidate(self) -> None:
-        """Rebuild the index if any handle in this process flushed writes
-        since ours was built (generation bump — one dict lookup)."""
+        """Rebuild the index if any handle flushed writes since ours was
+        built — in this process (generation bump, one dict lookup) or in
+        another one (generation-file token change, one ``stat``)."""
         if self._index is None or self._generation is None:
             return
         if shared_cache().generation(self.container.path) != self._generation:
+            self.refresh()
+            return
+        token = self.container.generation_token()
+        if token != self._gen_token:
+            # A writer in another process bumped the container's
+            # generation file; the in-process cache entry it cannot reach
+            # must be dropped too, or _build_index would serve it back.
+            self.stats["cross_process_refreshes"] += 1
+            shared_cache().invalidate(self.container.path)
             self.refresh()
 
     @property

@@ -104,4 +104,4 @@ def test_dry_run_changes_nothing(container_path, fault_seed, case_name, wal):
 def test_every_matrix_case_exercised():
     names = {case.name for case in FAULT_MATRIX}
     covered = {p.values[0] for p in ARMS}
-    assert covered == names and len(names) == 12
+    assert covered == names and len(names) == 15
