@@ -114,6 +114,7 @@ class Interposer:
             if self._depth == 0:
                 self._unwrap_modules()
                 self._unpatch()
+                self.shim.close_daemon_clients()
                 _installed = None
 
     def __enter__(self) -> "Interposer":

@@ -15,10 +15,17 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class Mount:
-    """One ``mount_point → backend`` mapping."""
+    """One ``mount_point → backend`` mapping.
+
+    *daemon*, when set, is the unix-socket path of a ``repro-plfsd``
+    instance that should own this mount's containers: opens under the
+    mount route through the daemon when it is reachable and silently fall
+    back to the in-process path when it is not.
+    """
 
     mount_point: str
     backend: str
+    daemon: str | None = None
 
     def translate(self, logical_path: str) -> str:
         """Backend physical path for *logical_path* (must be under us)."""
@@ -48,7 +55,21 @@ class MountTable:
 
     def add(self, mount_point: str, backend: str) -> Mount:
         mount_point = _normalise(mount_point)
-        backend = _normalise(backend)
+        # Mount options ride on the backend spec (plfsrc-style):
+        # ``/backend/dir?daemon=/run/plfsd.sock``.
+        daemon: str | None = None
+        raw_backend = os.fspath(backend)
+        if isinstance(raw_backend, bytes):
+            raw_backend = os.fsdecode(raw_backend)
+        if "?" in raw_backend:
+            raw_backend, _, query = raw_backend.partition("?")
+            for option in query.split("&"):
+                key, _, value = option.partition("=")
+                if key == "daemon" and value:
+                    daemon = value
+                elif key:
+                    raise ValueError(f"unknown mount option {key!r}")
+        backend = _normalise(raw_backend)
         if mount_point == "/":
             raise ValueError("refusing to mount PLFS over '/'")
         if backend == mount_point or backend.startswith(mount_point + os.sep):
@@ -56,7 +77,7 @@ class MountTable:
                 f"backend {backend!r} may not live under its own mount "
                 f"point {mount_point!r} (infinite recursion)"
             )
-        mount = Mount(mount_point, backend)
+        mount = Mount(mount_point, backend, daemon)
         with self._lock:
             if any(m.mount_point == mount_point for m in self._mounts):
                 raise ValueError(f"duplicate mount point: {mount_point}")

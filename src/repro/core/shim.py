@@ -190,7 +190,12 @@ class Shim:
             "passthrough_calls": 0,
             "transient_retries": 0,
             "short_write_resumes": 0,
+            "daemon_opens": 0,
+            "daemon_delegated_opens": 0,
+            "daemon_fallbacks": 0,
         }
+        #: one cached connection per ``daemon=`` socket path
+        self._daemon_clients: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # transient-error absorption
@@ -259,6 +264,52 @@ class Shim:
         self.stats["plfs_calls" if plfs else "passthrough_calls"] += 1
 
     # ------------------------------------------------------------------ #
+    # daemon routing (mounts carrying a ``daemon=socket`` option)
+    # ------------------------------------------------------------------ #
+
+    def _daemon_open(self, socket_path: str, backend: str, flags: int, mode: int):
+        """Open *backend* through the plfsd daemon at *socket_path*.
+
+        Returns a RemoteFd, or ``None`` when no daemon is reachable — the
+        caller then takes the ordinary in-process path, so a mount with a
+        ``daemon=`` option degrades gracefully to exactly what it was
+        before the daemon existed.  Real PLFS failures from the daemon
+        (ENOENT, EEXIST, ...) are NOT swallowed: the error envelope
+        re-raises the same :mod:`repro.plfs.errors` class the in-process
+        open would have raised.
+        """
+        from repro.plfsd.client import PlfsdUnavailable, connect
+
+        client = self._daemon_clients.get(socket_path)
+        accmode = flags & (os.O_RDONLY | os.O_WRONLY | os.O_RDWR)
+        delegate = accmode == os.O_WRONLY and not flags & os.O_EXCL
+        try:
+            if client is None or client.closed:
+                client = connect(socket_path, name=f"shim-pid-{os.getpid()}")
+                self._daemon_clients[socket_path] = client
+            if delegate:
+                # Write-only: the daemon serializes the metadata create
+                # (its MDS role) and the data plane stays in-process —
+                # PLFS never streams bytes through its metadata service.
+                plfs_fd = client.open_delegated(backend, flags, mode)
+            else:
+                plfs_fd = client.open(backend, flags, mode)
+        except PlfsdUnavailable:
+            self._daemon_clients.pop(socket_path, None)
+            self.stats["daemon_fallbacks"] += 1
+            return None
+        self.stats["daemon_opens"] += 1
+        if delegate:
+            self.stats["daemon_delegated_opens"] += 1
+        return plfs_fd
+
+    def close_daemon_clients(self) -> None:
+        """Drop every cached daemon connection (uninstall/test teardown)."""
+        while self._daemon_clients:
+            _, client = self._daemon_clients.popitem()
+            client.close()
+
+    # ------------------------------------------------------------------ #
     # fd creation / destruction
     # ------------------------------------------------------------------ #
 
@@ -267,7 +318,7 @@ class Shim:
         if resolved is None:
             self._count(False)
             return self.real.open(path, flags, mode, dir_fd=dir_fd, **kwargs)
-        _, backend = resolved
+        mount, backend = resolved
         self._count(True)
 
         if is_container(backend):
@@ -282,10 +333,17 @@ class Shim:
         elif not flags & os.O_CREAT:
             raise _enoent(path)
 
-        try:
-            plfs_fd = plfs_api.plfs_open(backend, flags, os.getpid(), mode & 0o777)
-        except PlfsError as exc:
-            raise type(exc)(str(exc.args[1] if len(exc.args) > 1 else exc), exc.errno) from None
+        plfs_fd = None
+        if mount.daemon is not None:
+            try:
+                plfs_fd = self._daemon_open(mount.daemon, backend, flags, mode & 0o777)
+            except PlfsError as exc:
+                raise type(exc)(str(exc.args[1] if len(exc.args) > 1 else exc), exc.errno) from None
+        if plfs_fd is None:
+            try:
+                plfs_fd = plfs_api.plfs_open(backend, flags, os.getpid(), mode & 0o777)
+            except PlfsError as exc:
+                raise type(exc)(str(exc.args[1] if len(exc.args) > 1 else exc), exc.errno) from None
         try:
             entry = self.table.insert(plfs_fd, flags, os.fspath(path))
         except Exception:

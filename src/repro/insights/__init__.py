@@ -16,6 +16,7 @@ phenomena, and renders deterministic text/JSON advisory reports.
 
 from .metrics import (
     IORunProfile,
+    attach_daemon_evidence,
     attach_fault_evidence,
     attach_read_path_evidence,
     attach_write_path_evidence,
@@ -33,6 +34,7 @@ from .rules import ALL_RULES, Finding, Severity, run_rules, validate_thresholds
 
 __all__ = [
     "IORunProfile",
+    "attach_daemon_evidence",
     "attach_fault_evidence",
     "attach_read_path_evidence",
     "attach_write_path_evidence",

@@ -125,6 +125,19 @@ class IORunProfile:
     write_vectored_appends: int = 0
     write_zero_copy_appends: int = 0
 
+    # daemon evidence (repro.plfsd server accounting: the shared-service
+    # analogue of the dedicated-MDS counters above)
+    daemon_clients: int = 0
+    daemon_opens: int = 0
+    daemon_creates: int = 0
+    daemon_appends: int = 0
+    daemon_reads: int = 0
+    daemon_bytes_written: float = 0.0
+    daemon_bytes_read: float = 0.0
+    daemon_queue_wait_seconds: float = 0.0
+    daemon_max_queue_wait_seconds: float = 0.0
+    daemon_fds_reaped: int = 0
+
     # trace-only bookkeeping
     buffered_opaque_files: int = 0
     files: list[dict] = field(default_factory=list)
@@ -202,6 +215,16 @@ class IORunProfile:
             "wal_batches": self.wal_batches,
             "write_vectored_appends": self.write_vectored_appends,
             "write_zero_copy_appends": self.write_zero_copy_appends,
+            "daemon_clients": self.daemon_clients,
+            "daemon_opens": self.daemon_opens,
+            "daemon_creates": self.daemon_creates,
+            "daemon_appends": self.daemon_appends,
+            "daemon_reads": self.daemon_reads,
+            "daemon_bytes_written": self.daemon_bytes_written,
+            "daemon_bytes_read": self.daemon_bytes_read,
+            "daemon_queue_wait_seconds": self.daemon_queue_wait_seconds,
+            "daemon_max_queue_wait_seconds": self.daemon_max_queue_wait_seconds,
+            "daemon_fds_reaped": self.daemon_fds_reaped,
             "buffered_opaque_files": self.buffered_opaque_files,
             "write_bandwidth_mbps": self.write_bandwidth_mbps,
         }
@@ -295,6 +318,41 @@ def attach_write_path_evidence(
         profile.write_zero_copy_appends += int(
             writer_stats.get("zero_copy_appends", 0)
         )
+    return profile
+
+
+def attach_daemon_evidence(
+    profile: IORunProfile,
+    *,
+    server_stats: dict | None = None,
+) -> IORunProfile:
+    """Fold plfsd daemon accounting into *profile* (returns it).
+
+    *server_stats* is a :meth:`repro.plfsd.server.PlfsdServer.stats`
+    snapshot (also what the wire ``stats`` request returns): per-client
+    opens/appends/bytes rolled up into an ``aggregate`` dict plus server
+    ``totals``.  Queue-wait is the daemon's dedicated-MDS meltdown signal,
+    so it lands next to the simulated MDS counters.  Decoupled like the
+    other evidence hooks: insights consumes a plain dict, never a server.
+    """
+    if server_stats:
+        agg = server_stats.get("aggregate", {})
+        totals = server_stats.get("totals", {})
+        profile.daemon_clients += int(server_stats.get("clients", 0))
+        profile.daemon_opens += int(agg.get("opens", 0))
+        profile.daemon_creates += int(agg.get("creates", 0))
+        profile.daemon_appends += int(agg.get("appends", 0))
+        profile.daemon_reads += int(agg.get("reads", 0))
+        profile.daemon_bytes_written += float(agg.get("bytes_written", 0))
+        profile.daemon_bytes_read += float(agg.get("bytes_read", 0))
+        profile.daemon_queue_wait_seconds += float(
+            agg.get("queue_wait_seconds", 0.0)
+        )
+        profile.daemon_max_queue_wait_seconds = max(
+            profile.daemon_max_queue_wait_seconds,
+            float(agg.get("max_queue_wait_seconds", 0.0)),
+        )
+        profile.daemon_fds_reaped += int(totals.get("fds_reaped", 0))
     return profile
 
 

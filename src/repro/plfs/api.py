@@ -31,6 +31,17 @@ from .writer import WriteFile
 _ACCMODE = os.O_RDONLY | os.O_WRONLY | os.O_RDWR
 
 
+def _remote(fd) -> bool:
+    """True when *fd* is a daemon-held handle (``repro.plfsd``'s RemoteFd).
+
+    Dispatch is duck-typed on purpose: ``plfs`` must not import ``plfsd``
+    (the daemon builds on this module), yet every ``plfs_*`` entry point
+    below accepts either handle kind so the interposition layer never
+    branches on where a handle lives.
+    """
+    return getattr(fd, "is_remote", False)
+
+
 @dataclass
 class OpenOptions:
     """Counterpart of ``Plfs_open_opt`` (all defaulted, as LDPLFS does)."""
@@ -163,22 +174,42 @@ def plfs_open(
     return fd
 
 
-def plfs_close(fd: Plfs_fd, pid: int | None = None, flags: int | None = None) -> int:
-    """Drop one reference; tear down on the last.  Returns remaining refs."""
+def plfs_close(fd, pid: int | None = None, flags: int | None = None) -> int:
+    """Drop one reference; tear down on the last.  Returns remaining refs.
+
+    Idempotent and exception-safe: closing an already-closed handle is a
+    no-op returning 0, and a writer that raises mid-close still leaves the
+    handle fully torn down (writer detached, open-marker unregistered), so
+    a daemon holding thousands of slots can always reclaim one — retrying
+    or double-closing after an error can never wedge a slot.
+    """
+    if _remote(fd):
+        return fd.close()
+    if fd.refs <= 0:
+        return 0
     fd.refs -= 1
     if fd.refs > 0:
         return fd.refs
     if fd._reader is not None:
         fd._reader.close()
         fd._reader = None
-    if fd.writer is not None:
-        last = fd.writer.max_logical_end
-        total = fd.writer.total_written
-        fd.writer.close()
+    writer, fd.writer = fd.writer, None  # claim it: a re-raised close must not re-enter
+    if writer is not None:
+        last = writer.max_logical_end
+        total = writer.total_written
+        try:
+            writer.close()
+        except Exception:
+            # The writer is broken but the handle must still be fully
+            # reclaimed: drop the open-marker so the container does not
+            # look eternally half-open, then surface the error.  (An
+            # InjectedCrash is a BaseException and passes through without
+            # cleanup — a crash kills the process, it doesn't tidy up.)
+            fd.container.unregister_open(pid if pid is not None else fd.pid)
+            raise
         fd.container.unregister_open(pid if pid is not None else fd.pid)
         if total:
             fd.container.drop_meta(last, total)
-        fd.writer = None
         if (
             total
             and fd.compact_on_close
@@ -195,7 +226,7 @@ def plfs_close(fd: Plfs_fd, pid: int | None = None, flags: int | None = None) ->
     return 0
 
 
-def plfs_ref(fd: Plfs_fd) -> Plfs_fd:
+def plfs_ref(fd):
     """Take an additional reference on an open handle."""
     fd.refs += 1
     return fd
@@ -223,13 +254,15 @@ def _as_buffer(buf):
     return view.tobytes()
 
 
-def plfs_write(fd: Plfs_fd, buf, count: int | None = None, offset: int = 0, pid: int | None = None) -> int:
+def plfs_write(fd, buf, count: int | None = None, offset: int = 0, pid: int | None = None) -> int:
     """Write ``buf[:count]`` at logical *offset*; returns bytes written.
 
     Any bytes-like object is accepted; contiguous buffers (including
     ``memoryview`` slices the shim produces for short-write resumption)
     thread through the write path without copying.
     """
+    if _remote(fd):
+        return fd.write(buf, count, offset)
     if fd.writer is None:
         raise BadFlagsError("handle not open for writing")
     data = _as_buffer(buf)
@@ -244,6 +277,8 @@ def plfs_writev(fd: Plfs_fd, buffers, offset: int = 0, pid: int | None = None) -
     """Vectored write: *buffers* land contiguously from *offset* as one
     data append plus one (possibly merged) index record — the
     ``writev``/``pwritev`` fast path.  Returns total bytes written."""
+    if _remote(fd):
+        return fd.writev(buffers, offset)
     if fd.writer is None:
         raise BadFlagsError("handle not open for writing")
     views = [_as_buffer(b) for b in buffers]
@@ -255,22 +290,29 @@ def plfs_writev(fd: Plfs_fd, buffers, offset: int = 0, pid: int | None = None) -
     return n
 
 
-def plfs_read(fd: Plfs_fd, count: int, offset: int) -> bytes:
+def plfs_read(fd, count: int, offset: int) -> bytes:
     """Read up to *count* bytes at *offset* (returns ``b""`` at EOF)."""
+    if _remote(fd):
+        return fd.read(count, offset)
     if not fd.readable:
         raise BadFlagsError("handle not open for reading")
     return fd.reader().read(count, offset)
 
 
-def plfs_read_into(fd: Plfs_fd, buf, offset: int) -> int:
+def plfs_read_into(fd, buf, offset: int) -> int:
     """C-style variant filling a caller buffer; returns bytes read."""
+    if _remote(fd):
+        return fd.read_into(buf, offset)
     if not fd.readable:
         raise BadFlagsError("handle not open for reading")
     return fd.reader().read_into(buf, offset)
 
 
-def plfs_sync(fd: Plfs_fd, pid: int | None = None) -> None:
+def plfs_sync(fd, pid: int | None = None) -> None:
     """Flush buffered index records and fsync data droppings."""
+    if _remote(fd):
+        fd.sync()
+        return
     if fd.writer is not None:
         fd.writer.sync()
 
@@ -280,8 +322,10 @@ def plfs_sync(fd: Plfs_fd, pid: int | None = None) -> None:
 # ---------------------------------------------------------------------- #
 
 
-def plfs_getattr(fd_or_path: Plfs_fd | str, *, size_only: bool = False) -> os.stat_result:
+def plfs_getattr(fd_or_path, *, size_only: bool = False) -> os.stat_result:
     """Stat the logical file (size = logical size from index or meta)."""
+    if _remote(fd_or_path):
+        return fd_or_path.getattr()
     if isinstance(fd_or_path, Plfs_fd):
         container = fd_or_path.container
         if fd_or_path.writer is not None:
@@ -338,6 +382,9 @@ def plfs_trunc(fd_or_path: Plfs_fd | str, offset: int = 0) -> None:
     reads back as zeros either way).  The C library takes the same
     fast/slow split.
     """
+    if _remote(fd_or_path):
+        fd_or_path.trunc(offset)
+        return
     if isinstance(fd_or_path, Plfs_fd):
         fd, path = fd_or_path, fd_or_path.path
         container = fd.container

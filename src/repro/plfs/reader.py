@@ -17,6 +17,7 @@ optimisation of Thakur et al. applied at the container layer.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 
 from . import constants
@@ -95,6 +96,7 @@ class ReadFile:
         self._index: GlobalIndex | None = None
         self._data_paths: list[str] = []
         self._fd_cache: OrderedDict[int, int] = OrderedDict()
+        self._fd_last_use: dict[int, float] = {}
         self._fd_limit = (
             constants.FD_CACHE_LIMIT if fd_cache_limit is None else max(1, fd_cache_limit)
         )
@@ -111,6 +113,7 @@ class ReadFile:
             "bytes_read": 0,
             "sieved_gap_bytes": 0,
             "cross_process_refreshes": 0,
+            "fds_reaped": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -189,22 +192,52 @@ class ReadFile:
         fd = cache.get(dropping)
         if fd is not None:
             cache.move_to_end(dropping)
+            self._fd_last_use[dropping] = time.monotonic()
             return fd
         fd = os.open(self._data_paths[dropping], os.O_RDONLY)
         cache[dropping] = fd
+        self._fd_last_use[dropping] = time.monotonic()
         while len(cache) > self._fd_limit:
-            _, evicted = cache.popitem(last=False)
+            key, evicted = cache.popitem(last=False)
+            self._fd_last_use.pop(key, None)
             try:
                 os.close(evicted)
             except OSError:  # pragma: no cover - defensive
                 pass
         return fd
 
+    def reap_idle_fds(self, idle_seconds: float, *, now: float | None = None) -> int:
+        """Close cached descriptors unused for at least *idle_seconds*.
+
+        A long-lived handle (a daemon's, or any reader a process keeps
+        open across idle hours) must not pin one kernel fd per data
+        dropping forever — the LRU only bounds the *count*, not the
+        *lifetime*.  The handle stays fully usable: a later read
+        transparently reopens what it needs.  Returns fds closed;
+        ``idle_seconds=0`` empties the cache unconditionally.
+        """
+        if now is None:
+            now = time.monotonic()
+        reaped = 0
+        for dropping in list(self._fd_cache):
+            if now - self._fd_last_use.get(dropping, now) < idle_seconds:
+                continue
+            fd = self._fd_cache.pop(dropping)
+            self._fd_last_use.pop(dropping, None)
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            reaped += 1
+        self.stats["fds_reaped"] += reaped
+        return reaped
+
     def _drop_fds(self) -> None:
         """Close every cached descriptor, tolerating individual failures
         (a single bad close must not strand the rest open)."""
         while self._fd_cache:
-            _, fd = self._fd_cache.popitem()
+            key, fd = self._fd_cache.popitem()
+            self._fd_last_use.pop(key, None)
             try:
                 os.close(fd)
             except OSError:  # pragma: no cover - defensive

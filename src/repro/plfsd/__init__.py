@@ -1,0 +1,35 @@
+"""``repro.plfsd`` — PLFS as a service: the async multi-writer container daemon.
+
+The paper's scaling failure (§V.C) is metadata: when thousands of clients
+create dropping files at once, Lustre's *dedicated* metadata server
+serializes the storm and PLFS turns from accelerator into bottleneck.
+Until now that meltdown only existed in ``repro.sim``; the real container
+path (``repro.plfs``) was strictly per-process.  This package promotes the
+container store to a shared service so the phenomenon — and its eventual
+fixes — can be reproduced with real bytes:
+
+- :mod:`repro.plfsd.protocol` — the length-prefixed binary wire protocol
+  (request framing, typed error envelope);
+- :mod:`repro.plfsd.server` — the asyncio daemon: many client processes,
+  thousands of handles, per-container writer serialization, shared read
+  cache, per-client accounting;
+- :mod:`repro.plfsd.client` — the synchronous client shim and the
+  :class:`~repro.plfsd.client.RemoteFd` handle that plugs into
+  ``repro.core`` behind a ``daemon=`` mount option;
+- :mod:`repro.plfsd.stress` — the create-storm / multi-tenant stress
+  harness reproducing the dedicated-MDS meltdown in the real path;
+- :mod:`repro.plfsd.cli` — the ``repro-plfsd`` console entry point.
+"""
+
+from .client import PlfsdClient, PlfsdUnavailable, RemoteFd
+from .protocol import ProtocolError, RemoteError
+from .server import PlfsdServer
+
+__all__ = [
+    "PlfsdClient",
+    "PlfsdServer",
+    "PlfsdUnavailable",
+    "ProtocolError",
+    "RemoteError",
+    "RemoteFd",
+]

@@ -137,6 +137,38 @@ class TestRefCounting:
         plfs.plfs_close(fd)
         assert fd.container.open_writers() == []
 
+    def test_double_close_is_idempotent(self, container_path):
+        fd = plfs.plfs_open(container_path, os.O_CREAT | os.O_WRONLY)
+        plfs.plfs_write(fd, b"data", 4, 0)
+        assert plfs.plfs_close(fd) == 0
+        # Sloppy (or daemon-retried) callers close again: no-op, no error,
+        # no refs going negative, no re-teardown of a finished writer.
+        assert plfs.plfs_close(fd) == 0
+        assert plfs.plfs_close(fd) == 0
+        assert fd.refs == 0
+        assert plfs.plfs_getattr(container_path).st_size == 4
+
+    def test_close_after_writer_error_still_reclaims_handle(
+        self, container_path, monkeypatch
+    ):
+        fd = plfs.plfs_open(container_path, os.O_CREAT | os.O_WRONLY, pid=77)
+        plfs.plfs_write(fd, b"payload", 7, 0)
+        assert fd.container.open_writers()
+
+        def broken_close():
+            raise OSError(5, "disk on fire")
+
+        monkeypatch.setattr(fd.writer, "close", broken_close)
+        with pytest.raises(OSError, match="disk on fire"):
+            plfs.plfs_close(fd)
+        # The handle must be fully torn down despite the error: writer
+        # detached, open-marker released — the slot is reclaimable.
+        assert fd.writer is None
+        assert fd.refs == 0
+        assert fd.container.open_writers() == []
+        # And a later (double) close of the broken handle stays a no-op.
+        assert plfs.plfs_close(fd) == 0
+
 
 class TestMetadata:
     def test_getattr_size_and_mode(self, container_path):

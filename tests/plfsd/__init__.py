@@ -1,0 +1,1 @@
+"""Tests for the plfsd daemon subsystem."""

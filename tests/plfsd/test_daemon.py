@@ -1,0 +1,446 @@
+"""Integration tests for the plfsd daemon: wire ops, shim routing,
+fallback, multi-client coherence, the idle-handle reaper.
+
+Unix socket paths are capped around 107 bytes, so sockets live in a short
+``/tmp`` directory rather than under pytest's (deep) tmp_path.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import plfs
+from repro.core.interpose import Interposer
+from repro.plfs.errors import ContainerNotFoundError
+from repro.plfsd import stress
+from repro.plfsd.client import PlfsdClient, PlfsdUnavailable, connect
+
+
+@pytest.fixture
+def arena():
+    """A short-lived, short-pathed directory holding socket + backend."""
+    d = tempfile.mkdtemp(prefix="plfsd-", dir="/tmp")
+    try:
+        yield d
+    finally:
+        shutil.rmtree(d, ignore_errors=True)
+
+
+@pytest.fixture
+def sock(arena):
+    return os.path.join(arena, "plfsd.sock")
+
+
+@pytest.fixture
+def dbackend(arena):
+    path = os.path.join(arena, "backend")
+    os.makedirs(path)
+    return path
+
+
+@pytest.fixture
+def daemon(sock):
+    """A running daemon subprocess (fast reaper for the reaper tests)."""
+    proc = stress.start_daemon(
+        sock, extra_args=["--idle-timeout", "0.2", "--reap-interval", "0.05"]
+    )
+    try:
+        yield proc
+    finally:
+        stress.stop_daemon(proc, sock)
+
+
+class TestWireOperations:
+    def test_write_read_getattr_roundtrip(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "file")
+        with connect(sock, name="t1") as client:
+            fd = client.open(path, os.O_CREAT | os.O_RDWR, 0o600)
+            assert fd.write(b"hello daemon", None, 0) == 12
+            assert fd.read(6, 6) == b"daemon"
+            fd.sync()
+            st = fd.getattr()
+            assert st.st_size == 12
+            assert fd.close() == 0
+        # Bytes are real: a direct in-process reader sees them.
+        rfd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(rfd, 12, 0) == b"hello daemon"
+        plfs.plfs_close(rfd)
+
+    def test_create_unlink(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "made")
+        with connect(sock) as client:
+            client.create(path, 0o644)
+            assert plfs.is_container(path)
+            client.unlink(path)
+            assert not plfs.is_container(path)
+
+    def test_trunc_through_daemon(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "t")
+        with connect(sock) as client:
+            fd = client.open(path, os.O_CREAT | os.O_RDWR)
+            fd.write(b"0123456789", None, 0)
+            fd.trunc(4)
+            assert fd.getattr().st_size == 4
+            assert fd.read(10, 0) == b"0123"
+            fd.close()
+
+    def test_error_envelope_preserves_class_and_errno(self, daemon, sock, dbackend):
+        with connect(sock) as client:
+            with pytest.raises(ContainerNotFoundError) as exc_info:
+                client.open(os.path.join(dbackend, "missing"), os.O_RDONLY)
+            assert exc_info.value.errno == errno.ENOENT
+            # The connection survives the error: next request works.
+            assert client.ping() > 0
+
+    def test_foreign_handle_rejected(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "mine")
+        with connect(sock, name="owner") as owner:
+            fd = owner.open(path, os.O_CREAT | os.O_WRONLY)
+            with connect(sock, name="thief") as thief:
+                with pytest.raises(OSError) as exc_info:
+                    thief.write(fd.handle, b"stolen", 0)
+                assert exc_info.value.errno == errno.EBADF
+            fd.close()
+
+    def test_stats_accounting(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "acct")
+        with connect(sock, name="counter") as client:
+            fd = client.open(path, os.O_CREAT | os.O_RDWR)
+            fd.write(b"x" * 100, None, 0)
+            fd.write(b"y" * 50, None, 100)
+            fd.sync()
+            fd.read(150, 0)
+            fd.close()
+            stats = client.stats()
+        agg = stats["aggregate"]
+        assert agg["opens"] >= 1
+        assert agg["creates"] >= 1
+        assert agg["appends"] >= 2
+        assert agg["bytes_written"] >= 150
+        assert agg["bytes_read"] >= 150
+        assert agg["closes"] >= 1
+        assert "queue_wait_seconds" in agg
+        named = [c for c in stats["per_client"] if c["name"] == "counter"]
+        assert named and named[0]["bytes_written"] >= 150
+
+    def test_disconnect_reclaims_handles(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "leak")
+        dirty = connect(sock, name="dirty")
+        fd = dirty.open(path, os.O_CREAT | os.O_WRONLY)
+        fd.write(b"left behind", None, 0)
+        dirty.close()  # vanishes without closing its handle
+        deadline = time.monotonic() + 5
+        with connect(sock, name="probe") as probe:
+            while True:
+                if probe.stats()["open_handles"] == 0:
+                    break
+                assert time.monotonic() < deadline, "handle never reclaimed"
+                time.sleep(0.02)
+        # The abandoned writer was closed server-side: data is durable.
+        rfd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(rfd, 11, 0) == b"left behind"
+        plfs.plfs_close(rfd)
+
+    def test_idle_reaper_closes_read_fds(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "idle")
+        wfd = plfs.plfs_open(path, os.O_CREAT | os.O_WRONLY)
+        plfs.plfs_write(wfd, b"z" * 4096, 4096, 0)
+        plfs.plfs_close(wfd)
+        with connect(sock, name="sleepy") as client:
+            fd = client.open(path, os.O_RDONLY)
+            assert fd.read(4096, 0) == b"z" * 4096
+            # Daemon runs with idle-timeout 0.2s / sweep 0.05s: wait for
+            # the reaper to shed this handle's cached dropping fds.
+            deadline = time.monotonic() + 5
+            while client.stats()["totals"]["fds_reaped"] == 0:
+                assert time.monotonic() < deadline, "reaper never fired"
+                time.sleep(0.05)
+            # The handle still works afterwards (fds reopen on demand).
+            assert fd.read(10, 0) == b"z" * 10
+            fd.close()
+
+
+class TestShimRouting:
+    def test_unmodified_script_routes_through_daemon(self, daemon, sock, dbackend, arena):
+        mnt = os.path.join(arena, "mnt")
+        ip = Interposer([(mnt, dbackend + "?daemon=" + sock)])
+        ip.install()
+        try:
+            with open(os.path.join(mnt, "app.dat"), "wb") as fh:
+                fh.write(b"A" * 512)
+            with open(os.path.join(mnt, "app.dat"), "rb") as fh:
+                assert fh.read() == b"A" * 512
+            assert os.stat(os.path.join(mnt, "app.dat")).st_size == 512
+            assert ip.shim.stats["daemon_opens"] >= 2
+            assert ip.shim.stats["daemon_fallbacks"] == 0
+        finally:
+            ip.uninstall()
+
+    def test_write_only_open_delegates_data_plane(self, daemon, sock, dbackend, arena):
+        mnt = os.path.join(arena, "mnt")
+        ip = Interposer([(mnt, dbackend + "?daemon=" + sock)])
+        ip.install()
+        try:
+            with open(os.path.join(mnt, "dl.dat"), "wb") as fh:
+                fh.write(b"B" * 1024)
+            with open(os.path.join(mnt, "dl.dat"), "rb") as fh:
+                assert fh.read() == b"B" * 1024
+            # The write-only open took the delegated plane; the read open
+            # stayed fully remote (it wants the shared index cache).
+            assert ip.shim.stats["daemon_delegated_opens"] == 1
+            assert ip.shim.stats["daemon_opens"] == 2
+        finally:
+            ip.uninstall()
+
+    def test_fallback_when_no_daemon(self, sock, dbackend, arena):
+        mnt = os.path.join(arena, "mnt")
+        ip = Interposer([(mnt, dbackend + "?daemon=" + sock)])  # nothing listens
+        ip.install()
+        try:
+            with open(os.path.join(mnt, "fb.dat"), "wb") as fh:
+                fh.write(b"still works")
+            with open(os.path.join(mnt, "fb.dat"), "rb") as fh:
+                assert fh.read() == b"still works"
+            assert ip.shim.stats["daemon_opens"] == 0
+            assert ip.shim.stats["daemon_fallbacks"] >= 2
+        finally:
+            ip.uninstall()
+
+    def test_daemon_death_mid_session_falls_back(self, sock, dbackend, arena):
+        mnt = os.path.join(arena, "mnt")
+        proc = stress.start_daemon(sock)
+        ip = Interposer([(mnt, dbackend + "?daemon=" + sock)])
+        ip.install()
+        try:
+            with open(os.path.join(mnt, "one.dat"), "wb") as fh:
+                fh.write(b"via daemon")
+            assert ip.shim.stats["daemon_opens"] == 1
+            stress.stop_daemon(proc, sock)
+            with open(os.path.join(mnt, "two.dat"), "wb") as fh:
+                fh.write(b"via fallback")
+            assert ip.shim.stats["daemon_fallbacks"] >= 1
+            with open(os.path.join(mnt, "one.dat"), "rb") as fh:
+                assert fh.read() == b"via daemon"
+            with open(os.path.join(mnt, "two.dat"), "rb") as fh:
+                assert fh.read() == b"via fallback"
+        finally:
+            ip.uninstall()
+            if proc.poll() is None:  # pragma: no cover - safety net
+                proc.terminate()
+                proc.wait(timeout=5)
+
+
+DAEMON_WRITER = """
+import os, sys
+from repro.plfsd.client import connect
+
+sock, path, rank, block, steps = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+)
+with connect(sock, name=f"writer-{rank}") as client:
+    fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+    payload = bytes([65 + rank]) * block
+    for step in range(steps):
+        offset = (step * 4 + rank) * block
+        assert fd.write(payload, None, offset) == block
+    fd.close()
+print("ok")
+"""
+
+
+class TestCoherence:
+    def test_four_daemon_writers_one_direct_reader(self, daemon, sock, dbackend):
+        """Satellite: ≥4 concurrent writer clients through the daemon plus
+        one *direct-path* reader in this process.  The PR-5 generation-file
+        protocol is the only coherence mechanism between them: every daemon
+        flush bumps the container's generation file, and the reader's
+        epoch-validated index revalidates with one stat."""
+        path = os.path.join(dbackend, "shared")
+        block, steps, ranks = 256, 4, 4
+
+        # Open the direct-path reader BEFORE the storm: its cached index
+        # must revalidate across the daemon's writes, not just load late.
+        seed = plfs.plfs_open(path, os.O_CREAT | os.O_WRONLY)
+        plfs.plfs_close(seed)
+        reader = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_getattr(reader).st_size == 0
+        assert plfs.plfs_read(reader, 16, 0) == b""  # instantiate the index now
+
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", DAEMON_WRITER,
+                    sock, path, str(rank), str(block), str(steps),
+                ],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for rank in range(ranks)
+        ]
+        for p in procs:
+            out, _ = p.communicate(timeout=120)
+            assert p.returncode == 0 and out.strip() == "ok"
+
+        # Same process-unmodified handle, post-storm: size and bytes must
+        # reflect what the daemon's writers flushed in another process.
+        expected = b"".join(
+            bytes([65 + rank]) * block
+            for _ in range(steps)
+            for rank in range(ranks)
+        )
+        assert plfs.plfs_getattr(reader).st_size == len(expected)
+        assert plfs.plfs_read(reader, len(expected), 0) == expected
+        assert reader._reader is not None
+        assert reader._reader.stats["cross_process_refreshes"] >= 1
+        plfs.plfs_close(reader)
+
+        # Each daemon handle kept its own dropping stream (handle-id-as-pid
+        # preserves PLFS's per-writer partitioning through the daemon).
+        assert len(plfs.Container(path).droppings()) >= ranks
+
+
+class TestClientRobustness:
+    def test_connect_refused_raises_unavailable(self, arena):
+        with pytest.raises(PlfsdUnavailable):
+            connect(os.path.join(arena, "nobody.sock"))
+
+    def test_requests_after_close_raise_unavailable(self, daemon, sock):
+        client = connect(sock)
+        client.close()
+        with pytest.raises(PlfsdUnavailable):
+            client.ping()
+
+    def test_remote_fd_double_close_is_idempotent(self, daemon, sock, dbackend):
+        with connect(sock) as client:
+            fd = client.open(os.path.join(dbackend, "dc"), os.O_CREAT | os.O_WRONLY)
+            fd.write(b"data", None, 0)
+            assert fd.close() == 0
+            assert fd.close() == 0  # no second wire close, no error
+            assert client.ping() > 0
+
+    def test_large_write_split_over_frames(self, daemon, sock, dbackend, monkeypatch):
+        from repro.plfsd import client as client_mod
+
+        monkeypatch.setattr(client_mod, "MAX_WIRE_WRITE", 1024)
+        payload = bytes(i % 251 for i in range(5000))
+        path = os.path.join(dbackend, "big")
+        with connect(sock) as client:
+            fd = client.open(path, os.O_CREAT | os.O_RDWR)
+            assert fd.write(payload, None, 0) == len(payload)
+            assert fd.read(len(payload), 0) == payload
+            fd.close()
+
+
+class TestFaultPropagation:
+    def test_env_spec_arms_injector_inside_daemon(self, sock, dbackend, arena):
+        """REPRO_FAULTS in the daemon's environment must torture daemon-side
+        writes exactly as it would any direct-path process: the first data
+        append hits an injected ENOSPC, which rides the error envelope back
+        to the client — proving the injector armed inside the daemon."""
+        env = dict(
+            os.environ,
+            REPRO_FAULTS="data_write:enospc:op=1",
+            REPRO_FAULT_SEED="3",
+        )
+        proc = stress.start_daemon(sock, env=env)
+        try:
+            with connect(sock) as client:
+                fd = client.open(
+                    os.path.join(dbackend, "tortured"), os.O_CREAT | os.O_WRONLY
+                )
+                with pytest.raises(OSError) as exc_info:
+                    fd.write(b"boom", None, 0)
+                assert exc_info.value.errno == errno.ENOSPC
+                # The spec is spent after one firing: the retry goes through.
+                assert fd.write(b"fine", None, 0) == 4
+                fd.close()
+        finally:
+            stress.stop_daemon(proc, sock)
+
+
+class TestShmDataPlane:
+    def test_large_write_travels_via_shm(self, daemon, sock, dbackend):
+        from repro.plfsd import client as client_mod
+
+        payload = bytes(i % 253 for i in range(client_mod.SHM_THRESHOLD * 2))
+        path = os.path.join(dbackend, "shmfile")
+        with connect(sock, name="shm-user") as client:
+            fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+            assert fd.write(payload, None, 0) == len(payload)
+            totals = client.stats()["totals"]
+            assert totals["shm_attaches"] >= 1
+            assert totals["shm_appends"] >= 1
+            fd.close()
+        # Bytes are real: a direct in-process reader sees them.
+        rfd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(rfd, len(payload), 0) == payload
+        plfs.plfs_close(rfd)
+
+    def test_no_shm_daemon_degrades_to_wire(self, sock, dbackend):
+        from repro.plfsd import client as client_mod
+
+        proc = stress.start_daemon(sock, extra_args=["--no-shm"])
+        payload = bytes(i % 241 for i in range(client_mod.SHM_THRESHOLD * 2))
+        path = os.path.join(dbackend, "wired")
+        try:
+            with connect(sock) as client:
+                fd = client.open(path, os.O_CREAT | os.O_WRONLY)
+                assert fd.write(payload, None, 0) == len(payload)
+                # The refused attach pins this connection to the wire path.
+                assert client._shm is None
+                assert client._shm_failed
+                totals = client.stats()["totals"]
+                assert totals["shm_appends"] == 0
+                fd.close()
+        finally:
+            stress.stop_daemon(proc, sock)
+        rfd = plfs.plfs_open(path, os.O_RDONLY)
+        assert plfs.plfs_read(rfd, len(payload), 0) == payload
+        plfs.plfs_close(rfd)
+
+    def test_segment_released_on_close(self, daemon, sock, dbackend):
+        client = connect(sock)
+        fd = client.open(os.path.join(dbackend, "seg"), os.O_CREAT | os.O_WRONLY)
+        fd.write(b"\xaa" * (1 << 20), None, 0)
+        assert client._shm is not None
+        seg_name = client._shm.name
+        fd.close()
+        client.close()
+        assert client._shm is None
+        # The client owned the segment; closing unlinked it from /dev/shm.
+        assert not os.path.exists(os.path.join("/dev/shm", seg_name))
+
+
+class TestDelegation:
+    def test_daemon_metadata_local_data(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "delegated")
+        with connect(sock, name="delegator") as client:
+            fd = client.open_delegated(path, os.O_CREAT | os.O_WRONLY)
+            # The data plane is in-process: an ordinary local handle.
+            assert not getattr(fd, "is_remote", False)
+            assert plfs.plfs_write(fd, b"delegated bytes", 15, 0) == 15
+            plfs.plfs_close(fd)
+            agg = client.stats()["aggregate"]
+            assert agg["creates"] >= 1  # the metadata hop went to the MDS
+            assert agg["appends"] == 0  # no payload crossed the daemon
+            # Coherence: a daemon-held reader sees the foreign writer's
+            # bytes (generation-file revalidation, not the socket).
+            rfd = client.open(path, os.O_RDONLY)
+            assert rfd.read(15, 0) == b"delegated bytes"
+            rfd.close()
+
+    def test_delegation_requires_plain_wronly(self, daemon, sock, dbackend):
+        path = os.path.join(dbackend, "nope")
+        with connect(sock) as client:
+            with pytest.raises(ValueError):
+                client.open_delegated(path, os.O_CREAT | os.O_RDWR)
+            with pytest.raises(ValueError):
+                client.open_delegated(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
