@@ -1,0 +1,9 @@
+"""Root pytest configuration.
+
+Loads the plfs-san plugin so any suite in the repo can run under the
+runtime race detector with ``--sanitize`` (pytest requires plugins to be
+declared in the rootdir conftest).  Needs ``src`` on ``PYTHONPATH``,
+exactly like the tests themselves.
+"""
+
+pytest_plugins = ("repro.sanitize.pytest_plugin",)

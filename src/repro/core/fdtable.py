@@ -55,6 +55,9 @@ class FdEntry:
 class FdTable:
     """Thread-safe fd → :class:`FdEntry` lookup table."""
 
+    #: plfs-san registration (see repro.sanitize): field -> guarding lock
+    _SANITIZE_SHARED = {"_entries": "_lock"}
+
     def __init__(self, real_os):
         # ``real_os`` exposes the *unpatched* os functions (open, close,
         # lseek, dup).  Using the patched ones here would recurse.

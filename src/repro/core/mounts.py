@@ -47,6 +47,9 @@ def _normalise(path) -> str:
 class MountTable:
     """Thread-safe longest-prefix-match table of PLFS mounts."""
 
+    #: plfs-san registration (see repro.sanitize): field -> guarding lock
+    _SANITIZE_SHARED = {"_mounts": "_lock"}
+
     def __init__(self, pairs: list[tuple[str, str]] | None = None):
         self._lock = threading.RLock()
         self._mounts: list[Mount] = []

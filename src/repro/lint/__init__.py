@@ -8,10 +8,13 @@ deployment is exposed to before a job is ever submitted:
 1. **Bypass risk in our own core** — the interposition-coverage audit
    (:mod:`~repro.lint.coverage`) cross-checks every file-touching
    ``os``/``builtins``/``io`` symbol against ``_OS_PATCHES`` and the
-   ``Shim`` method set, and the concurrency checker
-   (:mod:`~repro.lint.concurrency`) statically proves the fd-table lock
-   discipline.  Together they are ``repro-lint --self-audit``, the CI
-   gate that caught (and now pins) the vectored-I/O gap.
+   ``Shim`` method set; the whole-system concurrency analysis and
+   ordering-contract checker from :mod:`repro.sanitize` prove the lock
+   discipline and crash-ordering invariants across ``repro.core`` +
+   ``repro.plfs`` + ``repro.plfsd`` (the lexical single-file checker in
+   :mod:`~repro.lint.concurrency` remains as the reusable primitive).
+   Together they are ``repro-lint --self-audit``, the CI gate that
+   caught (and now pins) the vectored-I/O gap.
 2. **Anti-patterns in application scripts** — the AST linter
    (:mod:`~repro.lint.rules` on the :mod:`~repro.lint.visitors`
    framework) flags code that would bypass PLFS (mmap, subprocess with

@@ -7,16 +7,18 @@ Two front doors, matching the two halves of the subsystem:
   (including the mount prefixes the script declares), run every registered
   rule visitor.
 - :func:`self_audit` — the repo's own static gate: the interposition
-  coverage audit plus the shim concurrency contracts, combined into one
-  finding list so CI has a single pass/fail.
+  coverage audit, the whole-system interprocedural lock analysis and the
+  ordering-contract checker (both from :mod:`repro.sanitize`), combined
+  into one finding list so CI has a single pass/fail.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from typing import Any
 
-from .concurrency import GuardSpec, self_audit_concurrency
+from .concurrency import GuardSpec
 from .coverage import AuditReport, audit_findings, audit_interposition
 from .findings import LintFinding, RULES, sort_findings
 from .rules import run_rule_visitors
@@ -64,6 +66,8 @@ class SelfAudit:
 
     coverage: AuditReport
     findings: list[LintFinding] = field(default_factory=list)
+    #: the interprocedural pass's StaticAnalysis (None for legacy callers)
+    static: Any = None
 
     @property
     def passed(self) -> bool:
@@ -73,13 +77,33 @@ class SelfAudit:
 def self_audit(
     patches: list[str] | None = None,
     guards: list[GuardSpec] | None = None,
+    *,
+    targets: tuple[str, ...] | None = None,
+    contracts: list | None = None,
 ) -> SelfAudit:
-    """Coverage audit + concurrency contracts over ``repro.core``.
+    """Coverage audit + whole-system concurrency and ordering contracts.
 
-    *patches* and *guards* default to the live tree; tests seed gaps
-    through them to prove regressions are caught.
+    The concurrency half is the interprocedural analysis from
+    :mod:`repro.sanitize.static` — call-graph held-lock propagation,
+    lock-order cycles, await-under-lock — over ``repro.core`` +
+    ``repro.plfs`` + ``repro.plfsd`` (PR 2's lexical pass covered only
+    the three ``repro.core`` guards), plus the crash-ordering contracts
+    from :mod:`repro.sanitize.contracts`.
+
+    *patches*, *guards*, *targets* and *contracts* default to the live
+    tree; tests seed gaps through them to prove regressions are caught.
     """
+    # imported lazily: repro.sanitize depends on repro.lint.findings
+    from repro.sanitize.contracts import check_contracts
+    from repro.sanitize.static import analyze
+
     coverage = audit_interposition(patches=patches)
     findings = audit_findings(coverage)
-    findings.extend(self_audit_concurrency(guards))
-    return SelfAudit(coverage=coverage, findings=sort_findings(findings))
+    static = analyze(targets, guards=guards)
+    findings.extend(static.findings)
+    findings.extend(check_contracts(contracts))
+    return SelfAudit(
+        coverage=coverage,
+        findings=sort_findings(findings),
+        static=static,
+    )

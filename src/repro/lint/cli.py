@@ -35,6 +35,9 @@ _SEVERITY_CHOICES = {
     "recommend": Severity.RECOMMEND,
     "warn": Severity.WARN,
     "high": Severity.HIGH,
+    # "error" is the CI-facing alias: HIGH is the top of the scale, and
+    # every LDP2xx/LDP3xx concurrency or ordering finding lands there
+    "error": Severity.HIGH,
 }
 
 
@@ -53,7 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--self-audit",
         action="store_true",
-        help="audit repro.core interposition coverage and lock discipline",
+        help=(
+            "audit interposition coverage, whole-system lock discipline "
+            "(repro.core + repro.plfs + repro.plfsd) and ordering contracts"
+        ),
     )
     parser.add_argument(
         "--mount",

@@ -7,7 +7,11 @@ tests) stay byte-identical across runs.
 
 ID ranges: ``LDP0xx`` are self-audit rules (interposition coverage and
 shim concurrency over our own core); ``LDP1xx`` are application-script
-anti-patterns found by the AST linter.
+anti-patterns found by the AST linter; ``LDP2xx`` are whole-system
+concurrency findings from :mod:`repro.sanitize` (interprocedural guard
+analysis, lock-order cycles, the runtime lockset detector); ``LDP3xx``
+are ordering-contract violations (crash-consistency invariants declared
+in :mod:`repro.sanitize.contracts`).
 """
 
 from __future__ import annotations
@@ -229,6 +233,78 @@ RULES: dict[str, RuleSpec] = {
             Severity.HIGH,
             "the script cannot be parsed",
             "fix the syntax error; nothing was analysed beyond it",
+        ),
+        _spec(
+            "LDP112",
+            "blocking-call-in-async",
+            Severity.HIGH,
+            "blocking I/O or sleep inside an async function",
+            "move the call into loop.run_in_executor (or use the asyncio "
+            "equivalent, e.g. asyncio.sleep); a blocking call in a handler "
+            "stalls every client the event loop serves",
+        ),
+        _spec(
+            "LDP113",
+            "await-under-lock",
+            Severity.HIGH,
+            "await inside a synchronous 'with <lock>:' block",
+            "release the thread lock before awaiting, or replace it with "
+            "an asyncio.Lock; suspending while holding a thread lock "
+            "deadlocks any worker thread contending for it",
+        ),
+        # -- whole-system concurrency (repro.sanitize) -------------------- #
+        _spec(
+            "LDP201",
+            "interprocedural-guard-bypass",
+            Severity.HIGH,
+            "registered shared state mutated with its guard provably unheld",
+            "acquire the field's guarding lock on every call path to the "
+            "mutation (see sanitize.registry.EXTENDED_GUARDS), or register "
+            "the field's actual ownership discipline",
+        ),
+        _spec(
+            "LDP202",
+            "lock-order-cycle",
+            Severity.HIGH,
+            "the lock-order graph contains a cycle (deadlock candidate)",
+            "break the cycle: pick one global acquisition order for the "
+            "locks involved and restructure the nesting sites to follow it",
+        ),
+        _spec(
+            "LDP203",
+            "await-holding-threading-lock",
+            Severity.HIGH,
+            "an async function awaits while a threading lock is held",
+            "release the thread lock before the await (the event loop "
+            "parks holding it, deadlocking executor threads), or make the "
+            "critical section synchronous",
+        ),
+        _spec(
+            "LDP204",
+            "lockset-violation",
+            Severity.HIGH,
+            "runtime accesses to shared state share no common lock",
+            "serialize the accesses under one lock (or a documented "
+            "single-owner discipline) and register it in _SANITIZE_SHARED",
+        ),
+        # -- ordering contracts (crash-consistency invariants) ------------ #
+        _spec(
+            "LDP301",
+            "ordering-contract-violation",
+            Severity.HIGH,
+            "a declared crash-ordering invariant is violated by call order",
+            "restore the contracted order (the 'first' operation must "
+            "complete before the 'then' operation); these orders are what "
+            "recovery correctness is proved against",
+        ),
+        _spec(
+            "LDP302",
+            "ordering-contract-missing-op",
+            Severity.HIGH,
+            "a contracted operation no longer appears in its function",
+            "update sanitize.contracts.DEFAULT_CONTRACTS deliberately "
+            "alongside the code change; a stale contract silently stops "
+            "guarding the invariant it encodes",
         ),
     ]
 }

@@ -76,6 +76,13 @@ def render_self_audit(audit: SelfAudit) -> str:
     ]
     if cov.stale:
         lines.append(f"  stale patches: {', '.join(cov.stale)}")
+    static = audit.static
+    if static is not None:
+        lines.append(
+            f"  lock analysis: {len(static.modules)} modules, "
+            f"{static.functions} functions, {static.call_edges} resolved "
+            f"call edges, {len(static.lock_edges)} lock-order edges"
+        )
     lines.append("-" * 72)
     if audit.passed:
         lines.append(
@@ -92,6 +99,14 @@ def self_audit_to_dict(audit: SelfAudit) -> dict:
     data = findings_to_dict(audit.findings, target="self-audit")
     data["coverage"] = audit.coverage.as_dict()
     data["passed"] = audit.passed
+    if audit.static is not None:
+        data["static"] = {
+            "modules": list(audit.static.modules),
+            "summary": audit.static.summary(),
+            "lock_order_edges": [
+                list(edge) for edge in audit.static.lock_edges
+            ],
+        }
     return data
 
 

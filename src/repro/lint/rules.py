@@ -18,7 +18,14 @@ from repro.core.interpose import _OS_PATCHES
 from repro.insights.metrics import DEFAULT_SMALL_WRITE
 
 from .findings import RULES, LintFinding, Severity
-from .visitors import LintVisitor, call_name, estimate_size, string_constants
+from .visitors import (
+    LintVisitor,
+    ScriptContext,
+    call_name,
+    dotted_name,
+    estimate_size,
+    string_constants,
+)
 
 #: writes at or below this are "small" (matches the insights profile)
 SMALL_WRITE_THRESHOLD = DEFAULT_SMALL_WRITE
@@ -383,6 +390,144 @@ class InstallBalanceRule(LintVisitor):
         self.generic_visit(node)
 
 
+#: synchronous calls that park the event loop when run in a coroutine
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "open",
+    "builtins.open",
+    "io.open",
+    "os.open",
+    "os.read",
+    "os.write",
+    "os.pread",
+    "os.pwrite",
+    "os.preadv",
+    "os.pwritev",
+    "os.fsync",
+    "os.fdatasync",
+    "os.listdir",
+    "os.scandir",
+    "os.stat",
+    "os.rename",
+    "os.replace",
+    "os.remove",
+    "os.unlink",
+    "os.truncate",
+    "shutil.copy",
+    "shutil.copyfile",
+    "shutil.copytree",
+    "shutil.rmtree",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+}
+
+
+class AsyncBlockingRule(LintVisitor):
+    """LDP112: blocking file I/O or sleep directly on the event loop."""
+
+    def __init__(self, ctx: ScriptContext):
+        super().__init__(ctx)
+        self._async_depth = 0
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a sync def nested in a coroutine runs wherever it is called
+        # (usually an executor) — its body is not loop-blocking here
+        saved = self._async_depth
+        self._async_depth = 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth = saved
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved = self._async_depth
+        self._async_depth = 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth > 0:
+            name = call_name(node)
+            if name in _BLOCKING_CALLS:
+                self.emit(
+                    "LDP112",
+                    node,
+                    f"{name} blocks the event loop inside an async "
+                    "function: every connected client stalls for the "
+                    "duration (the daemon runs blocking PLFS calls in "
+                    "run_in_executor for exactly this reason)",
+                    call=name,
+                )
+        self.generic_visit(node)
+
+
+class AwaitUnderLockRule(LintVisitor):
+    """LDP113: ``await`` inside a synchronous ``with <lock>:`` block."""
+
+    def __init__(self, ctx: ScriptContext):
+        super().__init__(ctx)
+        self._sync_locks: list[str] = []
+
+    def _visit_def(self, node) -> None:
+        # new function boundary: enclosing with-blocks are not held when
+        # this body eventually runs
+        saved = self._sync_locks
+        self._sync_locks = []
+        try:
+            self.generic_visit(node)
+        finally:
+            self._sync_locks = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        names: list[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            name = dotted_name(expr)
+            if not name and isinstance(expr, ast.Call):
+                name = call_name(expr)
+            if "lock" in name.lower():
+                names.append(name)
+        self._sync_locks.extend(names)
+        try:
+            self._visit_with(node)
+        finally:
+            if names:
+                del self._sync_locks[-len(names):]
+
+    # async with (an asyncio lock) is fine to await under: base handling
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self._sync_locks:
+            held = ", ".join(self._sync_locks)
+            self.emit(
+                "LDP113",
+                node,
+                f"awaiting while holding {held}: the coroutine suspends "
+                "with the thread lock held, and any worker thread "
+                "contending for it blocks the whole event loop",
+                locks=held,
+            )
+        self.generic_visit(node)
+
+
 #: registration order is the tiebreak inside one severity grade
 ALL_RULE_VISITORS: list[type[LintVisitor]] = [
     BypassCallsRule,
@@ -393,6 +538,8 @@ ALL_RULE_VISITORS: list[type[LintVisitor]] = [
     SeekChurnRule,
     FdLeakRule,
     InstallBalanceRule,
+    AsyncBlockingRule,
+    AwaitUnderLockRule,
 ]
 
 

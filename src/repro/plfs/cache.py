@@ -136,6 +136,9 @@ class IndexCache:
     it (one dict lookup, no syscalls) before trusting a cached plan.
     """
 
+    #: plfs-san registration (see repro.sanitize): field -> guarding lock
+    _SANITIZE_SHARED = {"_entries": "_lock", "_generations": "_lock"}
+
     def __init__(self, capacity: int = constants.INDEX_CACHE_CAPACITY):
         self.capacity = capacity
         self._lock = threading.Lock()

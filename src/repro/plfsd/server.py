@@ -131,6 +131,13 @@ class _Handle:
 class PlfsdServer:
     """The asyncio container daemon behind one unix socket."""
 
+    #: plfs-san registration (see repro.sanitize).  All three tables are
+    #: event-loop-confined (mutated only between awaits on the loop
+    #: thread), not lock-guarded — the detector verifies exactly that
+    _SANITIZE_SHARED = {"_handles": None, "_clients": None, "_writer_locks": None}
+    #: locks to wrap even though no registered field names them as guard
+    _SANITIZE_LOCKS = ("_meta_lock",)
+
     def __init__(
         self,
         socket_path: str,
@@ -611,10 +618,15 @@ async def serve(
     Arms a fault injector from the environment first (``REPRO_FAULTS`` /
     ``REPRO_FAULT_SEED``), so injection specs configured by a parent
     process propagate into the daemon exactly like into any other
-    subprocess of the fault harness.
+    subprocess of the fault harness.  The plfs-san race detector arms the
+    same way (``REPRO_SANITIZE`` / ``REPRO_SANITIZE_DIR``): a sanitized
+    test session reaches into daemon subprocesses too, and violations
+    come back in the exit report the pytest plugin sweeps.
     """
     from repro.faults import injector_from_env
+    from repro.sanitize import runtime as sanitize_runtime
 
+    sanitize_runtime.enable_from_env()
     server = PlfsdServer(
         socket_path,
         open_options=open_options,

@@ -1,0 +1,115 @@
+"""pytest integration: ``--sanitize`` runs suites under the race detector.
+
+With the flag, the runtime detector is enabled for the whole session and
+every test gets an invisible assertion appended: *no lockset violation
+happened while you ran*.  Tests that exist to provoke a violation (the
+known-racy fixture) opt out with ``@pytest.mark.sanitize_expect_races``
+and assert on :func:`repro.sanitize.runtime.violations` themselves.
+
+Subprocesses are covered too: the session exports ``REPRO_SANITIZE=1``
+and a report directory before any test spawns a daemon, entry points arm
+themselves via :func:`repro.sanitize.runtime.enable_from_env`, and the
+session teardown sweeps the JSON reports each child wrote at exit —
+a violation inside the daemon fails the run just like a local one.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any, Iterator
+
+import pytest
+
+_MARKER = "sanitize_expect_races"
+
+
+def pytest_addoption(parser: Any) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run the plfs-san lockset race detector over this session",
+    )
+
+
+def pytest_configure(config: Any) -> None:
+    config.addinivalue_line(
+        "markers",
+        f"{_MARKER}: this test provokes lockset violations on purpose; "
+        "the --sanitize session must not fail on them",
+    )
+    if not config.getoption("--sanitize"):
+        return
+    from repro.sanitize import runtime
+
+    report_dir = tempfile.mkdtemp(prefix="repro-sanitize-")
+    prior = {
+        key: os.environ.get(key) for key in (runtime.ENV_FLAG, runtime.ENV_DIR)
+    }
+    os.environ[runtime.ENV_FLAG] = "1"
+    os.environ[runtime.ENV_DIR] = report_dir
+    runtime.enable()
+    config._repro_sanitize = {"dir": report_dir, "prior": prior}
+
+
+def pytest_unconfigure(config: Any) -> None:
+    state = getattr(config, "_repro_sanitize", None)
+    if state is None:
+        return
+    from repro.sanitize import runtime
+
+    runtime.disable()
+    for key, value in state["prior"].items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    shutil.rmtree(state["dir"], ignore_errors=True)
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_guard(request: Any) -> Iterator[None]:
+    """Fail any test during which a new lockset violation was recorded."""
+    if getattr(request.config, "_repro_sanitize", None) is None:
+        yield
+        return
+    from repro.sanitize import runtime
+
+    before = len(runtime.violations())
+    yield
+    if request.node.get_closest_marker(_MARKER) is not None:
+        return
+    fresh = runtime.violations()[before:]
+    if fresh:
+        pytest.fail(
+            "plfs-san lockset violations during this test:\n"
+            + "\n".join(v.render() for v in fresh),
+            pytrace=False,
+        )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_subprocess_sweep(request: Any) -> Iterator[None]:
+    """After the last test, collect reports written by child processes."""
+    yield
+    state = getattr(request.config, "_repro_sanitize", None)
+    if state is None:
+        return
+    from repro.sanitize import runtime
+
+    lines: list[str] = []
+    for report in runtime.load_reports(state["dir"]):
+        for violation in report.get("violations", []):
+            lines.append(
+                f"pid {report.get('pid')}: {violation.get('kind')} on "
+                f"{violation.get('var')} with lockset "
+                f"{violation.get('lockset')}"
+            )
+    if lines:
+        pytest.fail(
+            "plfs-san lockset violations in subprocesses:\n"
+            + "\n".join(lines),
+            pytrace=False,
+        )

@@ -1,0 +1,19 @@
+"""Anti-pattern: blocking I/O directly on the asyncio event loop."""
+
+import asyncio
+import time
+
+
+async def handle_request(reader, writer):
+    time.sleep(0.1)  # stalls every connected client
+    data = await reader.read(1024)
+    writer.write(data)
+
+
+def sync_helper():
+    # fine: plain functions run wherever they are called (an executor)
+    time.sleep(0.1)
+
+
+if __name__ == "__main__":
+    asyncio.run(handle_request(None, None))

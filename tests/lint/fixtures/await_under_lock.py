@@ -1,0 +1,23 @@
+"""Anti-pattern: awaiting while holding a synchronous threading lock."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+_state = {}
+
+
+async def update(key, value):
+    with _lock:
+        await asyncio.sleep(0)  # suspends with the thread lock held
+        _state[key] = value
+
+
+async def update_safely(key, value):
+    async with asyncio.Lock():  # asyncio locks are await-friendly
+        await asyncio.sleep(0)
+        _state[key] = value
+
+
+if __name__ == "__main__":
+    asyncio.run(update("k", 1))

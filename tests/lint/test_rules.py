@@ -31,6 +31,8 @@ EXPECTED: dict[str, list[tuple[str, str]]] = {
     "seek_churn.py": [("LDP108", "WARN")],
     "fd_leak.py": [("LDP109", "WARN")],
     "unbalanced_install.py": [("LDP110", "HIGH")],
+    "async_blocking.py": [("LDP112", "HIGH")],
+    "await_under_lock.py": [("LDP113", "HIGH")],
 }
 
 

@@ -1,0 +1,31 @@
+"""Shared plumbing for the plfs-san test suite.
+
+The ``san`` fixture hands tests an *armed* detector regardless of how the
+session was started: under ``pytest --sanitize`` the session-wide
+instance is reused (and its variable states reset around the test so
+suites stay order-independent); in a plain run the fixture enables the
+detector itself and tears it back down afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.sanitize import runtime
+
+
+@pytest.fixture
+def san() -> Iterator[object]:
+    if runtime.enabled():
+        runtime.reset()
+        yield runtime
+        runtime.reset()
+        return
+    runtime.enable()
+    try:
+        yield runtime
+    finally:
+        runtime.disable()
+        runtime.reset()
