@@ -13,12 +13,10 @@ container.
 
 from __future__ import annotations
 
-import statistics
-import time
-
 import pytest
 
 from .conftest import FULL_SCALE
+from repro.bench.guard import assert_faster, median_time
 from repro.plfs.cache import compact, load_index, shared_cache
 from repro.plfs.container import Container
 from repro.plfs.reader import ReadFile
@@ -50,15 +48,6 @@ def wide_container(tmp_path):
     shared_cache().reset_stats()
 
 
-def median_time(fn, repeats=REPEATS):
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples)
-
-
 def open_and_read(container, nbytes):
     with ReadFile(container) as r:
         assert len(r.read(nbytes, 0)) == nbytes
@@ -77,7 +66,7 @@ def test_read_path_fast_lane(wide_container, report, tmp_path):
         shared_cache().clear()
         open_and_read(c, size)
 
-    t_cold = median_time(cold)
+    t_cold = median_time(cold, repeats=REPEATS)
     assert load_index(c).source == "merged"
 
     # Compacted: global.index present, cache still cleared every round.
@@ -87,7 +76,7 @@ def test_read_path_fast_lane(wide_container, report, tmp_path):
         shared_cache().clear()
         open_and_read(c, size)
 
-    t_compacted = median_time(compacted)
+    t_compacted = median_time(compacted, repeats=REPEATS)
     assert load_index(c).source == "compacted"
 
     # Warm cache: the index survives across opens.
@@ -97,7 +86,7 @@ def test_read_path_fast_lane(wide_container, report, tmp_path):
     def warm():
         open_and_read(c, size)
 
-    t_warm = median_time(warm)
+    t_warm = median_time(warm, repeats=REPEATS)
     hits = shared_cache().stats["hits"]
     assert hits >= REPEATS
 
@@ -148,10 +137,7 @@ def test_read_path_fast_lane(wide_container, report, tmp_path):
     # Coarse regression guards (the CI read-path job runs these):
     # a cached open must beat re-merging every dropping cold, and the
     # compacted load must not be slower than the merge it replaces.
-    assert t_warm < t_cold, (
-        f"warm cached open ({t_warm * 1e3:.2f} ms) did not beat the cold "
-        f"merge ({t_cold * 1e3:.2f} ms)"
-    )
+    assert_faster(t_warm, t_cold, "warm cached open vs cold merge")
     assert preads_coalesced < preads_plain
 
 

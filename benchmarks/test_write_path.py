@@ -11,12 +11,10 @@ streams.
 
 from __future__ import annotations
 
-import statistics
-import time
-
 import pytest
 
 from .conftest import FULL_SCALE
+from repro.bench.guard import assert_faster, median_time
 from repro.plfs import backing
 from repro.plfs.container import Container
 from repro.plfs.reader import ReadFile
@@ -51,15 +49,6 @@ IOVEC = 16
 CHUNK = 1 << 20 if FULL_SCALE else 1 << 18
 CHUNKS = 32 if FULL_SCALE else 16
 REPEATS = 5
-
-
-def median_time(fn, repeats=REPEATS):
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return statistics.median(samples)
 
 
 @pytest.fixture
@@ -171,14 +160,8 @@ def test_write_path_fast_lane(fresh_container, report):
     # commit must beat the per-append WAL it batches — that is its whole
     # reason to exist — and a gather write must not lose to the scalar
     # loop it replaces.
-    assert t_batched < t_per_append, (
-        f"batched WAL ({t_batched * 1e3:.2f} ms) did not beat per-append "
-        f"WAL ({t_per_append * 1e3:.2f} ms)"
-    )
-    assert t_vectored < t_scalar, (
-        f"vectored appends ({t_vectored * 1e3:.2f} ms) lost to scalar "
-        f"appends ({t_scalar * 1e3:.2f} ms)"
-    )
+    assert_faster(t_batched, t_per_append, "group-commit WAL vs per-append WAL")
+    assert_faster(t_vectored, t_scalar, "vectored appends vs scalar appends")
 
 
 def test_adaptive_flush_holds_back_merged_streams(fresh_container, monkeypatch):

@@ -1,0 +1,61 @@
+"""``repro.bench`` — production workload suite + standing perf-trajectory
+harness (ROADMAP item 4).
+
+Layers:
+
+- :mod:`~repro.bench.scenarios` — deterministic workload generators
+  (metadata storm, hot/cold Zipf mix, multi-tenant interference,
+  crash-recovery soak);
+- :mod:`~repro.bench.runner` — executes a scenario against the direct,
+  WAL-batched, daemon or CAWL-sim configuration and assembles a
+  versioned BenchRecord;
+- :mod:`~repro.bench.record` — the schema + canonical trajectory store
+  (``BENCH_*.json``);
+- :mod:`~repro.bench.guard` — ratio-based regression guards shared by
+  ``repro-bench guard`` and the benchmark suite;
+- :mod:`~repro.bench.cli` — the ``repro-bench`` entry point.
+"""
+
+from .guard import (
+    GuardResult,
+    assert_faster,
+    assert_inflection,
+    best_of,
+    best_ratio,
+    compare_records,
+    guard_directory,
+    median_time,
+)
+from .record import (
+    DEFAULT_MAX_TIMING_REGRESSION,
+    SCHEMA_VERSION,
+    make_record,
+    record_filename,
+    validate,
+)
+from .runner import CONFIGS, execute_stream, run_scenario
+from .scenarios import DEFAULT_SEED, SCENARIOS, Op, op_stream_digest, payload
+
+__all__ = [
+    "SCENARIOS",
+    "CONFIGS",
+    "DEFAULT_SEED",
+    "SCHEMA_VERSION",
+    "DEFAULT_MAX_TIMING_REGRESSION",
+    "Op",
+    "payload",
+    "op_stream_digest",
+    "make_record",
+    "validate",
+    "record_filename",
+    "run_scenario",
+    "execute_stream",
+    "GuardResult",
+    "compare_records",
+    "guard_directory",
+    "median_time",
+    "best_of",
+    "best_ratio",
+    "assert_faster",
+    "assert_inflection",
+]

@@ -1,0 +1,592 @@
+"""Execute a scenario's op stream against a real PLFS configuration and
+assemble the :mod:`~repro.bench.record` for it.
+
+Configurations (the ``config`` axis of a BenchRecord):
+
+``direct``
+    In-process :mod:`repro.plfs` API — the LDPLFS fast path.
+``wal_batched``
+    Same, with the PR-5 group-commit write-ahead index
+    (``OpenOptions(write_ahead_index=True, wal_batch_records=N)``).
+``daemon``
+    Through a ``repro-plfsd`` daemon subprocess: one
+    :class:`~repro.plfsd.client.PlfsdClient` per tenant, all metadata
+    serializing on the daemon's global meta lock (the paper's dedicated
+    MDS).
+``sim``
+    The CAWL cache-aware write-back model in :mod:`repro.sim.cawl` —
+    same op stream, simulated clock, so the simulated and real
+    trajectories are directly comparable.
+
+Execution is deliberately *sequential and deterministic*: the generator
+already interleaves tenants, so every counter in the record reproduces
+exactly under a fixed seed (the determinism tests assert this).  True
+multi-process contention is the daemon stress benchmark's job
+(``benchmarks/test_plfsd.py``); the scenario suite tracks the cost
+trajectory of the op streams themselves.
+
+Timing is normalized per record: a fixed *calibration probe* (a small
+direct-path workload, best-of-3) runs in the same process right before
+the scenario, and every guarded timing metric is expressed as a ratio
+over it — hardware speed cancels, regressions don't.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro import plfs
+from repro.insights.metrics import export_runtime_counters
+from repro.plfs.api import OpenOptions
+from repro.plfs.cache import shared_cache
+
+from . import record as record_mod
+from .scenarios import (
+    DEFAULT_SEED,
+    SCENARIOS,
+    SOAK_ARMS,
+    Op,
+    payload,
+    stream_summary,
+)
+
+#: WAL group-commit window for the ``wal_batched`` configuration
+WAL_BATCH_RECORDS = 16
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    name: str
+    daemon: bool = False
+    sim: bool = False
+    wal: bool = False
+    wal_batch: int = 1
+
+    def open_options(self) -> OpenOptions:
+        return OpenOptions(
+            write_ahead_index=self.wal, wal_batch_records=self.wal_batch
+        )
+
+
+CONFIGS: dict[str, BenchConfig] = {
+    "direct": BenchConfig("direct"),
+    "wal_batched": BenchConfig(
+        "wal_batched", wal=True, wal_batch=WAL_BATCH_RECORDS
+    ),
+    "daemon": BenchConfig("daemon", daemon=True),
+    "sim": BenchConfig("sim", sim=True),
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Raw outcome of one op-stream replay."""
+
+    counters: dict = field(default_factory=dict)
+    #: (tenant, kind) -> per-op latencies in seconds
+    latencies: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    #: scenario-specific extra timing observations (never guarded)
+    observed: dict = field(default_factory=dict)
+
+
+def _accumulate(totals: dict, stats: dict) -> None:
+    for key, value in stats.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        totals[key] = totals.get(key, 0) + value
+
+
+# ---------------------------------------------------------------------- #
+# executors
+# ---------------------------------------------------------------------- #
+
+
+class _DirectExecutor:
+    """Replays ops through the in-process plfs API, keeping one O_RDWR
+    handle per logical file and harvesting fast-lane counters on close."""
+
+    def __init__(self, root: str, config: BenchConfig, seed: int):
+        self.root = root
+        self.config = config
+        self.seed = seed
+        self.handles: dict[str, object] = {}
+        self.writer_totals: dict = {}
+        self.reader_totals: dict = {}
+
+    def _path(self, file: str) -> str:
+        path = os.path.join(self.root, file)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return path
+
+    def _handle(self, file: str):
+        fd = self.handles.get(file)
+        if fd is None:
+            fd = plfs.plfs_open(
+                self._path(file),
+                os.O_CREAT | os.O_RDWR,
+                mode=0o644,
+                open_opt=self.config.open_options(),
+            )
+            self.handles[file] = fd
+        return fd
+
+    def _harvest(self, fd) -> None:
+        if getattr(fd, "writer", None) is not None:
+            _accumulate(self.writer_totals, fd.writer.stats)
+        reader = getattr(fd, "_reader", None)
+        if reader is not None:
+            _accumulate(self.reader_totals, reader.stats)
+
+    # -- op surface ----------------------------------------------------- #
+
+    def create(self, op: Op) -> None:
+        fd = plfs.plfs_open(
+            self._path(op.file),
+            os.O_CREAT | os.O_WRONLY,
+            mode=0o644,
+            open_opt=self.config.open_options(),
+        )
+        try:
+            if op.size:
+                data = payload(self.seed, op.file, 0, op.size)
+                plfs.plfs_write(fd, data, op.size, 0)
+        finally:
+            self._harvest(fd)
+            plfs.plfs_close(fd)
+
+    def write(self, op: Op) -> int:
+        data = payload(self.seed, op.file, op.offset, op.size)
+        return plfs.plfs_write(self._handle(op.file), data, op.size, op.offset)
+
+    def read(self, op: Op) -> int:
+        return len(plfs.plfs_read(self._handle(op.file), op.size, op.offset))
+
+    def fsync(self, op: Op) -> None:
+        plfs.plfs_sync(self._handle(op.file))
+
+    def finish(self) -> dict:
+        for fd in self.handles.values():
+            self._harvest(fd)
+            plfs.plfs_close(fd)
+        self.handles.clear()
+        return export_runtime_counters(
+            cache_stats=shared_cache().stats,
+            writer_stats=self.writer_totals,
+            reader_stats=self.reader_totals,
+        )
+
+
+class _DaemonExecutor:
+    """Replays ops through a running plfsd daemon: one client connection
+    per tenant, handles held daemon-side, every create serializing on the
+    daemon's global meta lock."""
+
+    def __init__(self, root: str, socket_path: str, seed: int):
+        from repro.plfsd import client as plfsd_client
+
+        self.root = root
+        self.socket_path = socket_path
+        self.seed = seed
+        self._connect = plfsd_client.connect
+        self.clients: dict[str, object] = {}
+        self.handles: dict[str, object] = {}
+
+    def _client(self, tenant: str):
+        cli = self.clients.get(tenant)
+        if cli is None:
+            cli = self._connect(self.socket_path, name=f"bench-{tenant}")
+            self.clients[tenant] = cli
+        return cli
+
+    def _path(self, file: str) -> str:
+        path = os.path.join(self.root, file)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return path
+
+    def _handle(self, op: Op):
+        fd = self.handles.get(op.file)
+        if fd is None:
+            fd = self._client(op.tenant).open(
+                self._path(op.file), os.O_CREAT | os.O_RDWR, 0o644
+            )
+            self.handles[op.file] = fd
+        return fd
+
+    # -- op surface ----------------------------------------------------- #
+
+    def create(self, op: Op) -> None:
+        fd = self._client(op.tenant).open(
+            self._path(op.file), os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        try:
+            if op.size:
+                data = payload(self.seed, op.file, 0, op.size)
+                plfs.plfs_write(fd, data, op.size, 0)
+        finally:
+            plfs.plfs_close(fd)
+
+    def write(self, op: Op) -> int:
+        data = payload(self.seed, op.file, op.offset, op.size)
+        return plfs.plfs_write(self._handle(op), data, op.size, op.offset)
+
+    def read(self, op: Op) -> int:
+        return len(plfs.plfs_read(self._handle(op), op.size, op.offset))
+
+    def fsync(self, op: Op) -> None:
+        plfs.plfs_sync(self._handle(op))
+
+    def finish(self) -> dict:
+        from repro.plfsd import stress
+
+        for fd in self.handles.values():
+            plfs.plfs_close(fd)
+        self.handles.clear()
+        stats = stress.daemon_stats(self.socket_path)
+        for cli in self.clients.values():
+            cli.close()
+        self.clients.clear()
+        counters = export_runtime_counters(server_stats=stats)
+        agg = stats.get("aggregate", {})
+        counters["_observed_queue_wait_seconds"] = float(
+            agg.get("queue_wait_seconds", 0.0)
+        )
+        return counters
+
+
+# ---------------------------------------------------------------------- #
+# crash-soak cycles (direct path only: faults inject in-process)
+# ---------------------------------------------------------------------- #
+
+
+def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int) -> dict:
+    """One seeded crash/recovery cycle: faulted schedule -> fsck ->
+    reread -> verify against the recovery invariant.  Returns the cycle's
+    deterministic counter deltas."""
+    from repro.faults import harness
+    from repro.faults.fsck import fsck
+    from repro.faults.injector import FaultInjector, FaultSpec
+
+    point, behavior, wal = SOAK_ARMS[op.size % len(SOAK_ARMS)]
+    schedule = harness.random_schedule(op.offset, ops=ops_per_cycle)
+    sync_every = max(1, len(schedule) // 2)
+    if point == "index_flush":
+        fire = 2
+    elif point == "fsync":
+        fire = 1
+    else:
+        fire = max(1, (2 * len(schedule)) // 3)
+    injector = FaultInjector([FaultSpec(point, behavior, op=fire)], seed=op.offset)
+
+    path = os.path.join(root, op.file)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    outcome = harness.run_schedule(
+        path,
+        schedule,
+        wal=wal,
+        wal_batch=4 if wal else 1,
+        injector=injector,
+        sync_every=sync_every,
+    )
+    report = fsck(path)
+    content = harness.read_back(path)
+    acceptable = outcome.acceptable_states()
+    if content not in acceptable:
+        raise AssertionError(
+            f"crash_soak cycle {op.file} ({point}:{behavior}, wal={wal}) "
+            f"recovered {len(content)} bytes outside the acceptable states "
+            f"({len(acceptable)} candidates; fsck: {len(report.actions)} "
+            f"actions, unrecoverable={report.unrecoverable})"
+        )
+    return {
+        "cycles": 1,
+        "crashes": int(outcome.crashed),
+        "full_recoveries": int(content == outcome.expected_full()),
+        "acknowledged_writes": len(outcome.applied),
+        "fsck_actions": len(report.actions),
+        "fsck_rebuilt_indexes": report.rebuilt_indexes,
+        "fsck_unrecoverable": len(report.unrecoverable),
+        "verified_bytes": len(content),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# stream execution
+# ---------------------------------------------------------------------- #
+
+
+def execute_stream(
+    ops: list[Op],
+    root: str,
+    config: str | BenchConfig,
+    seed: int,
+    *,
+    params: dict | None = None,
+    socket_path: str | None = None,
+) -> ExecutionResult:
+    """Replay *ops* against *root* under *config*, timing every op.
+
+    For the ``daemon`` config the caller owns the daemon lifecycle and
+    passes its *socket_path* (so differential tests can replay several
+    streams against one daemon).  ``sim`` streams never touch *root*.
+    """
+    cfg = CONFIGS[config] if isinstance(config, str) else config
+    params = params or {}
+    if cfg.sim:
+        from repro.sim.cawl import execute_sim_stream
+
+        return execute_sim_stream(ops, seed, params=params)
+    if cfg.daemon:
+        if socket_path is None:
+            raise ValueError("daemon config requires socket_path")
+        executor = _DaemonExecutor(root, socket_path, seed)
+    else:
+        executor = _DirectExecutor(root, cfg, seed)
+
+    result = ExecutionResult()
+    dispatch = {
+        "create": executor.create,
+        "write": executor.write,
+        "read": executor.read,
+        "fsync": executor.fsync,
+    }
+    by_kind: dict[str, int] = {}
+    bytes_read = 0
+    t_start = time.perf_counter()
+    for op in ops:
+        by_kind[op.kind] = by_kind.get(op.kind, 0) + 1
+        t0 = time.perf_counter()
+        if op.kind == "crash_cycle":
+            if cfg.daemon or cfg.wal:
+                raise ValueError(
+                    f"crash_cycle ops only run on the direct config, not {cfg.name}"
+                )
+            deltas = _run_crash_cycle(
+                root, op, int(params.get("ops_per_cycle", 18))
+            )
+            _accumulate(result.counters, deltas)
+        elif op.kind == "read":
+            bytes_read += dispatch["read"](op)
+        else:
+            dispatch[op.kind](op)
+        result.latencies.setdefault((op.tenant, op.kind), []).append(
+            time.perf_counter() - t0
+        )
+    result.counters.update(executor.finish())
+    result.wall_seconds = time.perf_counter() - t_start
+    result.counters["ops_total"] = len(ops)
+    for kind, n in sorted(by_kind.items()):
+        result.counters[f"ops_{kind}"] = n
+    result.counters["bytes_read_back"] = bytes_read
+    queue_wait = result.counters.pop("_observed_queue_wait_seconds", None)
+    if queue_wait is not None:
+        result.observed["queue_wait_seconds"] = queue_wait
+        creates = result.counters.get("daemon_creates", 0)
+        if creates:
+            result.observed["queue_wait_per_create_seconds"] = queue_wait / creates
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# calibration + percentiles
+# ---------------------------------------------------------------------- #
+
+_CALIBRATION_WRITES = 48
+_CALIBRATION_CREATES = 6
+
+
+def calibration_probe(root: str) -> float:
+    """Best-of-3 timing of a fixed direct-path workload (creates + small
+    writes + readback) run in this process: the normalization unit every
+    guarded timing metric divides by."""
+    base = os.path.join(root, "__calibration__")
+    counter = [0]
+
+    def probe() -> None:
+        counter[0] += 1
+        d = os.path.join(base, f"p{counter[0]}")
+        os.makedirs(d, exist_ok=True)
+        fd = plfs.plfs_open(os.path.join(d, "probe"), os.O_CREAT | os.O_RDWR)
+        chunk = b"\xa5" * 1024
+        for i in range(_CALIBRATION_WRITES):
+            plfs.plfs_write(fd, chunk, len(chunk), i * len(chunk))
+        plfs.plfs_sync(fd)
+        plfs.plfs_read(fd, 8192, 0)
+        plfs.plfs_close(fd)
+        for i in range(_CALIBRATION_CREATES):
+            tiny = plfs.plfs_open(
+                os.path.join(d, f"tiny.{i}"), os.O_CREAT | os.O_WRONLY
+            )
+            plfs.plfs_write(tiny, b"x", 1, 0)
+            plfs.plfs_close(tiny)
+
+    from .guard import best_of
+
+    elapsed = best_of(probe, 3)
+    shutil.rmtree(base, ignore_errors=True)
+    return elapsed
+
+
+def _percentile(sorted_xs: list[float], q: float) -> float:
+    if not sorted_xs:
+        return 0.0
+    return sorted_xs[int(q * (len(sorted_xs) - 1))]
+
+
+def summarize_latencies(latencies: dict) -> tuple[dict, dict]:
+    """(per-kind, per-tenant) latency summaries from raw samples."""
+    per_kind: dict[str, list[float]] = {}
+    per_tenant: dict[str, list[float]] = {}
+    for (tenant, kind), xs in latencies.items():
+        per_kind.setdefault(kind, []).extend(xs)
+        per_tenant.setdefault(tenant, []).extend(xs)
+
+    def summary(xs: list[float]) -> dict:
+        xs = sorted(xs)
+        return {
+            "count": len(xs),
+            "mean": statistics.fmean(xs) if xs else 0.0,
+            "p50": _percentile(xs, 0.50),
+            "p99": _percentile(xs, 0.99),
+        }
+
+    return (
+        {k: summary(v) for k, v in sorted(per_kind.items())},
+        {t: summary(v) for t, v in sorted(per_tenant.items())},
+    )
+
+
+def derive_metrics(
+    per_kind: dict,
+    per_tenant: dict,
+    wall_seconds: float,
+    calibration_seconds: float,
+) -> dict:
+    """The dimensionless ``derived`` section: calibration-normalized
+    timings plus within-run ratios — the only timing metrics guards
+    compare across runs."""
+    unit = calibration_seconds or 1.0
+    normalized = {"wall_over_calibration": wall_seconds / unit}
+    for kind, summary in per_kind.items():
+        if summary["count"]:
+            normalized[f"p50_{kind}_over_calibration"] = summary["p50"] / unit
+    ratios: dict[str, float] = {}
+    if (
+        "create" in per_kind
+        and "write" in per_kind
+        and per_kind["write"]["p50"] > 0
+    ):
+        ratios["create_p50_over_write_p50"] = (
+            per_kind["create"]["p50"] / per_kind["write"]["p50"]
+        )
+    if (
+        "read" in per_kind
+        and "write" in per_kind
+        and per_kind["write"]["p50"] > 0
+    ):
+        ratios["read_p50_over_write_p50"] = (
+            per_kind["read"]["p50"] / per_kind["write"]["p50"]
+        )
+    tenants = sorted(per_tenant)
+    if len(tenants) == 2 and per_tenant[tenants[1]]["p50"] > 0:
+        a, b = tenants
+        ratios[f"{a}_p50_over_{b}_p50"] = (
+            per_tenant[a]["p50"] / per_tenant[b]["p50"]
+        )
+    return {"normalized": normalized, "ratios": ratios}
+
+
+# ---------------------------------------------------------------------- #
+# the top-level entry point
+# ---------------------------------------------------------------------- #
+
+
+def _scratch_root(tag: str) -> str:
+    """Short-pathed scratch dir (unix sockets cap at ~107 chars; tmpfs
+    preferred so the trajectory measures code, not disk scheduling)."""
+    base = "/dev/shm" if os.path.isdir("/dev/shm") else "/tmp"
+    return tempfile.mkdtemp(prefix=f"bench-{tag}-", dir=base)
+
+
+def run_scenario(
+    scenario_name: str,
+    *,
+    profile: str = "short",
+    config: str = "direct",
+    seed: int = DEFAULT_SEED,
+    params: dict | None = None,
+    store: str | None = None,
+    guard_policy: dict | None = None,
+) -> dict:
+    """Run one scenario end to end and return its validated BenchRecord."""
+    scenario = SCENARIOS[scenario_name]
+    if config not in scenario.configs:
+        raise ValueError(
+            f"scenario {scenario_name!r} does not support config {config!r} "
+            f"(supported: {scenario.configs})"
+        )
+    cfg = CONFIGS[config]
+    ops = scenario.ops(seed, profile, params)
+    merged_params = scenario.profile_params(profile, params)
+
+    owns_store = store is None
+    root = store or _scratch_root(scenario_name)
+    daemon_proc = None
+    socket_path = None
+    try:
+        if cfg.sim:
+            calibration = 1.0  # simulated clocks need no normalization
+        else:
+            calibration = calibration_probe(root)
+        shared_cache().clear()
+        shared_cache().reset_stats()
+        if cfg.daemon:
+            from repro.plfsd import stress
+
+            socket_path = os.path.join(root, "bench.sock")
+            daemon_proc = stress.start_daemon(socket_path)
+        result = execute_stream(
+            ops,
+            os.path.join(root, "backend"),
+            cfg,
+            seed,
+            params=merged_params,
+            socket_path=socket_path,
+        )
+    finally:
+        if daemon_proc is not None:
+            from repro.plfsd import stress
+
+            stress.stop_daemon(daemon_proc, socket_path)
+        if owns_store:
+            shutil.rmtree(root, ignore_errors=True)
+
+    per_kind, per_tenant = summarize_latencies(result.latencies)
+    timings = {
+        "wall_seconds": result.wall_seconds,
+        "calibration_seconds": calibration,
+        "per_kind": per_kind,
+        "per_tenant": per_tenant,
+    }
+    timings.update(result.observed)
+    return record_mod.assert_valid(
+        record_mod.make_record(
+            scenario=scenario_name,
+            profile=profile,
+            config=cfg.name,
+            seed=seed,
+            params={k: merged_params[k] for k in sorted(merged_params)},
+            op_stream=stream_summary(ops),
+            counters=result.counters,
+            timings=timings,
+            derived=derive_metrics(
+                per_kind, per_tenant, result.wall_seconds, calibration
+            ),
+            guard=guard_policy,
+        )
+    )

@@ -356,6 +356,62 @@ def attach_daemon_evidence(
     return profile
 
 
+def export_runtime_counters(
+    *,
+    cache_stats: dict | None = None,
+    writer_stats: dict | None = None,
+    reader_stats: dict | None = None,
+    server_stats: dict | None = None,
+) -> dict:
+    """Flatten fast-lane counter dicts into one namespaced counter set.
+
+    The inverse direction of the ``attach_*`` hooks above: instead of
+    folding counters *into* an :class:`IORunProfile`, this exports them
+    under the profile's field names as a flat dict — the ``counters``
+    section of a :mod:`repro.bench` ``BenchRecord``.  Using one naming
+    scheme in both directions keeps observed profiles, detector evidence
+    and the standing benchmark trajectory directly comparable.
+
+    Only *deterministic* counters are exported (counts, not durations):
+    bench guards compare these exactly across runs of the same seed, so
+    anything timing-dependent (queue-wait seconds, reaper activity) must
+    travel in a record's ``timings`` section instead.
+    """
+    out: dict[str, int | float] = {}
+    if cache_stats:
+        out["index_cache_hits"] = int(cache_stats.get("hits", 0))
+        out["index_cache_misses"] = int(cache_stats.get("misses", 0))
+        out["compacted_index_loads"] = int(cache_stats.get("compacted_loads", 0))
+        out["index_rebuild_ops"] = int(cache_stats.get("merged_builds", 0))
+        out["index_cache_invalidations"] = int(cache_stats.get("invalidations", 0))
+    if writer_stats:
+        out["write_appends"] = int(writer_stats.get("appends", 0))
+        out["write_records_merged"] = int(writer_stats.get("records_merged", 0))
+        out["write_index_flushes"] = int(writer_stats.get("index_flushes", 0))
+        out["wal_records"] = int(writer_stats.get("wal_records", 0))
+        out["wal_batches"] = int(writer_stats.get("wal_batches", 0))
+        if out["wal_batches"]:
+            out["wal_batch_occupancy"] = out["wal_records"] / out["wal_batches"]
+    if reader_stats:
+        out["read_preads"] = int(reader_stats.get("preads", 0))
+        out["read_preads_coalesced"] = int(reader_stats.get("coalesced_slices", 0))
+        out["read_sieved_gap_bytes"] = int(reader_stats.get("sieved_gap_bytes", 0))
+        out["read_index_builds"] = int(reader_stats.get("index_builds", 0))
+        if out["read_preads"]:
+            out["read_coalesce_rate"] = (
+                out["read_preads_coalesced"] / out["read_preads"]
+            )
+    if server_stats:
+        agg = server_stats.get("aggregate", {})
+        out["daemon_opens"] = int(agg.get("opens", 0))
+        out["daemon_creates"] = int(agg.get("creates", 0))
+        out["daemon_appends"] = int(agg.get("appends", 0))
+        out["daemon_reads"] = int(agg.get("reads", 0))
+        out["daemon_bytes_written"] = int(agg.get("bytes_written", 0))
+        out["daemon_bytes_read"] = int(agg.get("bytes_read", 0))
+    return out
+
+
 # ---------------------------------------------------------------------- #
 # simulation path
 # ---------------------------------------------------------------------- #

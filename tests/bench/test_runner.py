@@ -1,0 +1,130 @@
+"""The runner end to end: every scenario/config produces a schema-valid
+record whose deterministic counters reproduce exactly under a fixed seed.
+
+Scaled-down params keep this tier-1-fast; the real short/full profiles
+run in the CI bench job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import plfs
+from repro.bench import record as record_mod
+from repro.bench import runner
+from repro.bench.scenarios import SCENARIOS, Op
+
+TINY = {
+    "metadata_storm": {"clients": 2, "files_per_client": 4},
+    "hot_cold_mix": {"hot_files": 2, "cold_files": 4, "ops": 48},
+    "multi_tenant": {"storm_files": 6, "stream_chunks": 8, "stream_chunk_bytes": 4096},
+    "crash_soak": {"cycles": 2, "ops_per_cycle": 8},
+}
+
+
+def _run(name, config="direct", seed=42):
+    return runner.run_scenario(
+        name, profile="short", config=config, seed=seed, params=TINY[name]
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_direct_run_produces_valid_record(name):
+    rec = _run(name)
+    assert record_mod.validate(rec) == []
+    assert rec["counters"]["ops_total"] == rec["op_stream"]["ops"]
+    assert rec["derived"]["normalized"]["wall_over_calibration"] > 0
+    assert rec["timings"]["calibration_seconds"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_counters_reproduce_exactly(name):
+    a, b = _run(name), _run(name)
+    assert a["counters"] == b["counters"]
+    assert a["op_stream"] == b["op_stream"]
+    assert a["params"] == b["params"]
+
+
+def test_metadata_storm_counts_every_create():
+    rec = _run("metadata_storm")
+    assert rec["counters"]["ops_create"] == 8
+    assert rec["counters"]["write_appends"] == 8
+
+
+def test_hot_cold_reads_return_written_bytes():
+    rec = _run("hot_cold_mix")
+    assert rec["counters"]["bytes_read_back"] == rec["op_stream"]["bytes_read"]
+    assert rec["counters"]["read_preads"] > 0
+
+
+def test_wal_batched_config_engages_wal():
+    rec = runner.run_scenario(
+        "hot_cold_mix",
+        profile="short",
+        config="wal_batched",
+        seed=42,
+        params=TINY["hot_cold_mix"],
+    )
+    assert rec["counters"]["wal_records"] > 0
+    assert rec["counters"]["wal_batches"] > 0
+
+
+def test_multi_tenant_reports_both_tenants():
+    rec = _run("multi_tenant")
+    assert set(rec["timings"]["per_tenant"]) == {"storm", "stream"}
+    assert "storm_p50_over_stream_p50" in rec["derived"]["ratios"]
+
+
+def test_crash_soak_recovers_every_cycle():
+    rec = _run("crash_soak")
+    c = rec["counters"]
+    assert c["cycles"] == 2
+    assert c["crashes"] >= 1  # the tiny arms include hard crashes
+    assert c["full_recoveries"] + c["cycles"] >= c["cycles"]  # sanity
+    assert c["verified_bytes"] > 0
+
+
+def test_crash_soak_rejects_non_direct_configs():
+    with pytest.raises(ValueError, match="does not support"):
+        runner.run_scenario("crash_soak", config="daemon")
+
+
+def test_unknown_config_raises():
+    with pytest.raises(ValueError, match="does not support"):
+        runner.run_scenario("metadata_storm", config="quantum")
+
+
+def test_sim_config_only_where_registered():
+    with pytest.raises(ValueError, match="does not support"):
+        runner.run_scenario("metadata_storm", config="sim")
+
+
+def test_execute_stream_daemon_requires_socket(tmp_path):
+    ops = SCENARIOS["metadata_storm"].ops(1, "short", TINY["metadata_storm"])
+    with pytest.raises(ValueError, match="socket_path"):
+        runner.execute_stream(ops, str(tmp_path), "daemon", 1)
+
+
+def test_direct_stream_writes_real_bytes(tmp_path):
+    """The storm's payload bytes must actually land in containers."""
+    from repro.bench.scenarios import payload
+
+    ops = [Op("t", "create", "a/x", 0, 300), Op("t", "write", "a/y", 0, 128)]
+    runner.execute_stream(ops, str(tmp_path), "direct", 5)
+    fd = plfs.plfs_open(str(tmp_path / "a" / "x"), os.O_RDONLY)
+    assert plfs.plfs_read(fd, 1024, 0) == payload(5, "a/x", 0, 300)
+    plfs.plfs_close(fd)
+
+
+def test_summarize_and_derive():
+    lat = {("t", "write"): [0.2, 0.1, 0.3], ("u", "read"): [0.4]}
+    per_kind, per_tenant = runner.summarize_latencies(lat)
+    assert per_kind["write"]["count"] == 3
+    assert per_kind["write"]["p50"] == 0.2
+    assert per_tenant["u"]["mean"] == 0.4
+    derived = runner.derive_metrics(per_kind, per_tenant, 1.0, 0.5)
+    assert derived["normalized"]["wall_over_calibration"] == 2.0
+    assert derived["ratios"]["read_p50_over_write_p50"] == 2.0
+    assert derived["ratios"]["t_p50_over_u_p50"] == 0.5

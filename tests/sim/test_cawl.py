@@ -1,0 +1,98 @@
+"""The CAWL cache-aware write-back model: deterministic, and shaped the
+way a write-back cache must be (absorbing hot overwrites, missing cold
+reads, draining on fsync, stalling on backpressure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import SCENARIOS, Op
+from repro.sim.cawl import DEFAULTS, execute_sim_stream
+
+
+def _write(file, offset, size, tenant="t"):
+    return Op(tenant, "write", file, offset, size)
+
+
+def _read(file, offset, size, tenant="t"):
+    return Op(tenant, "read", file, offset, size)
+
+
+def test_sim_is_exactly_deterministic():
+    ops = SCENARIOS["hot_cold_mix"].ops(1337, "short")
+    a = execute_sim_stream(ops, 1337)
+    b = execute_sim_stream(ops, 1337)
+    assert a.counters == b.counters
+    assert a.wall_seconds == b.wall_seconds
+    assert a.latencies == b.latencies
+
+
+def test_hot_overwrites_absorbed():
+    ops = [_write("h", 0, 4096) for _ in range(10)]
+    res = execute_sim_stream(ops, 0)
+    # first write dirties the block; the other nine are absorbed
+    assert res.counters["sim_absorbed_overwrites"] == 9
+
+
+def test_reads_hit_after_write_miss_cold():
+    ops = [_write("h", 0, 4096), _read("h", 0, 4096), _read("cold", 0, 4096)]
+    res = execute_sim_stream(ops[:2], 0)
+    assert res.counters["sim_cache_hits"] == 1
+    assert res.counters["sim_cache_misses"] == 0
+    res = execute_sim_stream(ops, 0)
+    assert res.counters["sim_cache_misses"] == 1
+
+
+def test_fsync_drains_all_dirty_bytes():
+    ops = [_write("f", i * 4096, 4096) for i in range(4)]
+    res = execute_sim_stream(ops, 0)
+    leftover = res.counters["sim_residual_dirty_bytes"]
+    assert leftover > 0
+    ops.append(Op("t", "fsync", "f", 0, 0))
+    res = execute_sim_stream(ops, 0)
+    assert res.counters["sim_residual_dirty_bytes"] == 0
+    assert res.counters["sim_sync_flushes"] == 1
+    assert res.counters["sim_writeback_bytes"] >= leftover
+
+
+def test_backpressure_engages_background_flusher():
+    # dirty far more than the cache can hold: the writer must stall and
+    # the flusher must drain in the background
+    blocks = 2 * DEFAULTS["sim_cache_bytes"] // DEFAULTS["sim_block_bytes"]
+    ops = [_write("big", i * 4096, 4096) for i in range(blocks)]
+    res = execute_sim_stream(ops, 0)
+    assert res.counters["sim_backpressure_stalls"] > 0
+    assert res.counters["sim_writeback_flushes"] > 0
+    assert res.counters["sim_writeback_bytes"] > 0
+
+
+def test_eviction_pins_dirty_blocks():
+    # touch more distinct blocks than the residency cap; only clean
+    # (read-promoted) blocks may be evicted
+    cap_blocks = DEFAULTS["sim_cache_bytes"] // DEFAULTS["sim_block_bytes"]
+    ops = [_write("w", 0, 4096), Op("t", "fsync", "w", 0, 0)]
+    ops += [_read("w", 0, 4096) for _ in range(2)]
+    ops += [_read(f"r{i}", 0, 4096) for i in range(cap_blocks + 8)]
+    res = execute_sim_stream(ops, 0)
+    assert res.counters["sim_evictions"] > 0
+
+
+def test_creates_serialize_on_the_mds():
+    ops = [Op("t", "create", f"c{i}", 0, 256) for i in range(5)]
+    res = execute_sim_stream(ops, 0)
+    assert res.counters["sim_meta_ops"] == 5
+    # each create pays at least the metadata op cost
+    for xs in res.latencies.values():
+        assert all(x >= DEFAULTS["sim_meta_op_seconds"] for x in xs)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="crash_cycle"):
+        execute_sim_stream([Op("t", "crash_cycle", "x", 0, 0)], 0)
+
+
+def test_simulated_latencies_cover_every_op():
+    ops = SCENARIOS["hot_cold_mix"].ops(7, "short")
+    res = execute_sim_stream(ops, 7)
+    assert sum(len(v) for v in res.latencies.values()) == len(ops)
+    assert res.wall_seconds > 0
