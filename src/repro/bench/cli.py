@@ -71,6 +71,12 @@ def _parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--baseline", required=True)
     cmp_p.add_argument("--scenario", action="append", default=None)
+    cmp_p.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help="restrict the comparison to these configs (repeatable)",
+    )
     _add_common(cmp_p)
 
     guard_p = sub.add_parser(
@@ -78,6 +84,13 @@ def _parser() -> argparse.ArgumentParser:
     )
     guard_p.add_argument("--baseline", required=True)
     guard_p.add_argument("--scenario", action="append", default=None)
+    guard_p.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        help="restrict the guard to these configs (repeatable; a job "
+        "that only regenerated one config guards only that config)",
+    )
     guard_p.add_argument(
         "--max-timing-regression",
         type=float,
@@ -134,7 +147,7 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     out_dir = args.out or record_mod.default_out_dir()
     results = guard_mod.guard_directory(
-        out_dir, args.baseline, scenarios=args.scenario
+        out_dir, args.baseline, scenarios=args.scenario, configs=args.config
     )
     print(guard_mod.render_results(results))
     return 0
@@ -147,6 +160,7 @@ def _cmd_guard(args) -> int:
         args.baseline,
         max_timing_regression=args.max_timing_regression,
         scenarios=args.scenario,
+        configs=args.config,
     )
     print(guard_mod.render_results(results))
     return 0 if all(r.ok for r in results) else 1

@@ -186,10 +186,13 @@ def guard_directory(
     *,
     max_timing_regression: float | None = None,
     scenarios: list[str] | None = None,
+    configs: list[str] | None = None,
 ) -> list[GuardResult]:
     """Compare every baseline ``BENCH_*.json`` against its counterpart in
     *current_dir*.  A baseline with no (or an unreadable) counterpart is
-    a violation: the trajectory must never silently lose a scenario."""
+    a violation: the trajectory must never silently lose a scenario.
+    *scenarios* / *configs* restrict which baselines are compared (a CI
+    job that only regenerated one config guards only that config)."""
     import os
 
     results: list[GuardResult] = []
@@ -200,6 +203,8 @@ def guard_directory(
         return [res]
     for name, baseline in baselines.items():
         if scenarios and baseline.get("scenario") not in scenarios:
+            continue
+        if configs and baseline.get("config") not in configs:
             continue
         path = os.path.join(current_dir, name)
         try:

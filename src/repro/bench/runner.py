@@ -17,6 +17,11 @@ Configurations (the ``config`` axis of a BenchRecord):
     The CAWL cache-aware write-back model in :mod:`repro.sim.cawl` —
     same op stream, simulated clock, so the simulated and real
     trajectories are directly comparable.
+``objectstore``
+    The tiered object backend (:mod:`repro.plfs.objectstore`) installed
+    behind ``plfs.backing``: writes land on the local tier and drain to
+    the content-addressed store under the CAWL write-back policy — the
+    real-path twin of the ``sim`` configuration.
 
 Execution is deliberately *sequential and deterministic*: the generator
 already interleaves tenants, so every counter in the record reproduces
@@ -66,6 +71,7 @@ class BenchConfig:
     sim: bool = False
     wal: bool = False
     wal_batch: int = 1
+    objectstore: bool = False
 
     def open_options(self) -> OpenOptions:
         return OpenOptions(
@@ -80,6 +86,7 @@ CONFIGS: dict[str, BenchConfig] = {
     ),
     "daemon": BenchConfig("daemon", daemon=True),
     "sim": BenchConfig("sim", sim=True),
+    "objectstore": BenchConfig("objectstore", objectstore=True),
 }
 
 
@@ -260,14 +267,20 @@ class _DaemonExecutor:
 
 
 # ---------------------------------------------------------------------- #
-# crash-soak cycles (direct path only: faults inject in-process)
+# crash-soak cycles (direct/objectstore only: faults inject in-process)
 # ---------------------------------------------------------------------- #
 
 
-def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int) -> dict:
+def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int, backend=None) -> dict:
     """One seeded crash/recovery cycle: faulted schedule -> fsck ->
     reread -> verify against the recovery invariant.  Returns the cycle's
-    deterministic counter deltas."""
+    deterministic counter deltas.
+
+    Under the objectstore config (*backend* given) the cycle additionally
+    drains the tier, hands the store to fsck's reconcile passes, then
+    round-trips the container through a prefix-scoped evict + restore —
+    proving the recovered content survives losing every local copy.
+    """
     from repro.faults import harness
     from repro.faults.fsck import fsck
     from repro.faults.injector import FaultInjector, FaultSpec
@@ -293,7 +306,13 @@ def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int) -> dict:
         injector=injector,
         sync_every=sync_every,
     )
-    report = fsck(path)
+    if backend is not None:
+        backend.tier.drain()
+        report = fsck(
+            path, objectstore=backend.store, objectstore_root=backend.tier.root
+        )
+    else:
+        report = fsck(path)
     content = harness.read_back(path)
     acceptable = outcome.acceptable_states()
     if content not in acceptable:
@@ -303,7 +322,7 @@ def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int) -> dict:
             f"({len(acceptable)} candidates; fsck: {len(report.actions)} "
             f"actions, unrecoverable={report.unrecoverable})"
         )
-    return {
+    deltas = {
         "cycles": 1,
         "crashes": int(outcome.crashed),
         "full_recoveries": int(content == outcome.expected_full()),
@@ -313,6 +332,22 @@ def _run_crash_cycle(root: str, op: Op, ops_per_cycle: int) -> dict:
         "fsck_unrecoverable": len(report.unrecoverable),
         "verified_bytes": len(content),
     }
+    if backend is not None:
+        # The store is the authority: evict every local copy of this
+        # container and fault it back, demanding identical logical reads.
+        prefix = (
+            os.path.relpath(path, backend.tier.root).replace(os.sep, "/") + "/"
+        )
+        deltas["tier_cycle_evicted_bytes"] = backend.tier.evict(prefix)
+        deltas["tier_cycle_restores"] = len(backend.tier.restore_missing(prefix))
+        roundtrip = harness.read_back(path)
+        if roundtrip != content:
+            raise AssertionError(
+                f"crash_soak cycle {op.file}: evict/restore round trip "
+                f"changed the recovered content "
+                f"({len(roundtrip)} vs {len(content)} bytes)"
+            )
+    return deltas
 
 
 # ---------------------------------------------------------------------- #
@@ -328,12 +363,17 @@ def execute_stream(
     *,
     params: dict | None = None,
     socket_path: str | None = None,
+    object_store_dir: str | None = None,
 ) -> ExecutionResult:
     """Replay *ops* against *root* under *config*, timing every op.
 
     For the ``daemon`` config the caller owns the daemon lifecycle and
     passes its *socket_path* (so differential tests can replay several
     streams against one daemon).  ``sim`` streams never touch *root*.
+    The ``objectstore`` config installs the tiered object backend for
+    the duration of the replay (*object_store_dir* defaults to a sibling
+    of *root*) and drains the tier at the end — the sync barrier the
+    wall-clock includes, exactly as the CAWL sim charges for it.
     """
     cfg = CONFIGS[config] if isinstance(config, str) else config
     params = params or {}
@@ -348,6 +388,15 @@ def execute_stream(
     else:
         executor = _DirectExecutor(root, cfg, seed)
 
+    backend = None
+    previous = None
+    if cfg.objectstore:
+        from repro.plfs import backing
+        from repro.plfs.objectstore import make_backend
+
+        backend = make_backend(root, object_store_dir)
+        previous = backing.install(backend)
+
     result = ExecutionResult()
     dispatch = {
         "create": executor.create,
@@ -358,27 +407,36 @@ def execute_stream(
     by_kind: dict[str, int] = {}
     bytes_read = 0
     t_start = time.perf_counter()
-    for op in ops:
-        by_kind[op.kind] = by_kind.get(op.kind, 0) + 1
-        t0 = time.perf_counter()
-        if op.kind == "crash_cycle":
-            if cfg.daemon or cfg.wal:
-                raise ValueError(
-                    f"crash_cycle ops only run on the direct config, not {cfg.name}"
+    try:
+        for op in ops:
+            by_kind[op.kind] = by_kind.get(op.kind, 0) + 1
+            t0 = time.perf_counter()
+            if op.kind == "crash_cycle":
+                if cfg.daemon or cfg.wal:
+                    raise ValueError(
+                        "crash_cycle ops only run on the direct or "
+                        f"objectstore configs, not {cfg.name}"
+                    )
+                deltas = _run_crash_cycle(
+                    root, op, int(params.get("ops_per_cycle", 18)), backend=backend
                 )
-            deltas = _run_crash_cycle(
-                root, op, int(params.get("ops_per_cycle", 18))
+                _accumulate(result.counters, deltas)
+            elif op.kind == "read":
+                bytes_read += dispatch["read"](op)
+            else:
+                dispatch[op.kind](op)
+            result.latencies.setdefault((op.tenant, op.kind), []).append(
+                time.perf_counter() - t0
             )
-            _accumulate(result.counters, deltas)
-        elif op.kind == "read":
-            bytes_read += dispatch["read"](op)
-        else:
-            dispatch[op.kind](op)
-        result.latencies.setdefault((op.tenant, op.kind), []).append(
-            time.perf_counter() - t0
-        )
-    result.counters.update(executor.finish())
+        result.counters.update(executor.finish())
+        if backend is not None:
+            backend.tier.drain()
+    finally:
+        if backend is not None:
+            backing.install(previous)
     result.wall_seconds = time.perf_counter() - t_start
+    if backend is not None:
+        result.counters.update(backend.counters())
     result.counters["ops_total"] = len(ops)
     for kind, n in sorted(by_kind.items()):
         result.counters[f"ops_{kind}"] = n

@@ -332,7 +332,7 @@ SCENARIOS: dict[str, Scenario] = {
                 "short": dict(hot_files=4, cold_files=16, ops=320),
                 "full": dict(hot_files=8, cold_files=64, ops=4096),
             },
-            configs=("direct", "wal_batched", "daemon", "sim"),
+            configs=("direct", "wal_batched", "daemon", "sim", "objectstore"),
         ),
         Scenario(
             "multi_tenant",
@@ -353,7 +353,7 @@ SCENARIOS: dict[str, Scenario] = {
                 "short": dict(cycles=6, ops_per_cycle=18),
                 "full": dict(cycles=48, ops_per_cycle=32),
             },
-            configs=("direct",),
+            configs=("direct", "objectstore"),
         ),
     )
 }

@@ -4,9 +4,15 @@ Usage::
 
     repro-fsck [--dry-run] [--json] CONTAINER [CONTAINER ...]
     repro-fsck [--dry-run] [--json] --scan BACKEND_DIR
+    repro-fsck --objectstore STORE_DIR [--objectstore-root DIR] CONTAINER
 
 ``--scan`` walks a backend directory tree and repairs every container it
-finds.  Exit status: 0 — every container clean or fully recovered;
+finds.  ``--objectstore`` names the object-store root a tiered container
+is backed by: fsck then restores evicted local copies from the store
+first and resyncs the store to the repaired container afterwards
+(``--objectstore-root`` is the tiered local root object keys are
+relative to; default the container's parent, or the ``--scan`` dir).
+Exit status: 0 — every container clean or fully recovered;
 1 — repairs left unrecoverable losses (reported) or a container is still
 broken; 2 — usage error / path is not a container.
 """
@@ -56,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON report per container",
     )
+    parser.add_argument(
+        "--objectstore",
+        metavar="DIR",
+        help="object-store root the containers are tiered over; enables "
+        "the restore/sweep/resync reconcile passes",
+    )
+    parser.add_argument(
+        "--objectstore-root",
+        metavar="DIR",
+        help="tiered local root object keys are relative to (default: "
+        "each container's parent directory, or the --scan directory)",
+    )
     return parser
 
 
@@ -79,11 +97,20 @@ def main(argv: list[str] | None = None) -> int:
     else:
         targets = args.paths
 
+    objectstore_root = args.objectstore_root
+    if objectstore_root is None and args.scan:
+        objectstore_root = args.scan
+
     worst = 0
     reports = []
     for path in targets:
         try:
-            report = fsck(path, dry_run=args.dry_run)
+            report = fsck(
+                path,
+                dry_run=args.dry_run,
+                objectstore=args.objectstore,
+                objectstore_root=objectstore_root,
+            )
         except (PlfsError, FileNotFoundError) as exc:
             print(f"repro-fsck: {path}: {exc}", file=sys.stderr)
             return 2

@@ -18,7 +18,10 @@ state the previous steps made consistent:
    - a data dropping with no index and no WAL is quarantined (renamed out
      of the data namespace) and reported unrecoverable;
 
-3. orphan index droppings (index without data) are deleted;
+3. orphan index droppings (index without data) are deleted — and when
+   the orphan's records promised bytes that no quarantine holds, the
+   extent is reported **unrecoverable** rather than silently dropped
+   (the lost-PUT / vanished-dropping verdict);
 4. stale openhost markers are cleared (fsck runs offline, like the C
    tool);
 5. the cached-size metadata is rebuilt from the repaired global index;
@@ -28,6 +31,13 @@ state the previous steps made consistent:
    temporaries (``global.index.tmp.*``, a crash mid-compaction) are
    swept;
 7. a final :func:`~repro.plfs.tools.plfs_check` verifies the result.
+
+When the container is tiered over an object store (*objectstore* /
+*objectstore_root* arguments), two reconcile passes bracket the repair:
+committed objects whose local copies are missing are restored first
+(the store is the authority; the tier is a cache), and after repair the
+store is swept (torn multipart staging, crashed commit temporaries) and
+resynced to the repaired container so stale objects cannot resurrect.
 
 ``dry_run`` records every action and verdict without touching the
 container.
@@ -141,6 +151,19 @@ class FsckReport:
 
 def _rel(container_path: str, path: str) -> str:
     return os.path.relpath(path, container_path)
+
+
+def _record_coverage(index_path: str) -> int:
+    """Bytes the whole records of an index/WAL dropping promise."""
+    try:
+        with open(index_path, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return 0
+    records, _ = split_torn(raw)
+    if not records.shape[0]:
+        return 0
+    return int(records["length"].sum())
 
 
 def _repair_dropping(
@@ -270,12 +293,36 @@ def _repair_dropping(
                 fh.truncate(indexed_end)
 
 
-def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
+def fsck(
+    path: str,
+    *,
+    dry_run: bool = False,
+    objectstore=None,
+    objectstore_root: str | None = None,
+) -> FsckReport:
     """Repair the container at *path*; see the module docstring for the
-    repair sequence.  Read-only when *dry_run*."""
+    repair sequence.  Read-only when *dry_run*.
+
+    *objectstore* is an :class:`~repro.plfs.objectstore.ObjectStore` (or
+    the path of one's root directory) the container is tiered over;
+    *objectstore_root* is the tiered local root object keys are relative
+    to (default: the container's parent directory).
+    """
     assert_container(path)
     container = Container(path)
     report = FsckReport(path=os.path.abspath(path), dry_run=dry_run)
+
+    store = None
+    if objectstore is not None:
+        from repro.plfs.objectstore import ObjectStore, fsckx
+
+        store = (
+            ObjectStore(objectstore) if isinstance(objectstore, str) else objectstore
+        )
+        store_root = objectstore_root or os.path.dirname(os.path.abspath(path))
+        # 0. the store is authority: restore evicted/lost local copies
+        # before the ordinary repair steps reason about what's missing
+        fsckx.reconcile_before(store, path, store_root, report, dry_run=dry_run)
 
     # 1. skeleton
     missing = [
@@ -296,33 +343,64 @@ def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
                     report, container.path, hostdir, name, dry_run=dry_run
                 )
 
-    # 3. orphan index droppings (index without data)
+    # 3. orphan index droppings (index without data).  Deleting the
+    # orphan is right — nothing can serve reads from it — but the bytes
+    # its records promised were acknowledged to a writer, and if no
+    # quarantine file holds them the data dropping itself vanished (a
+    # lost PUT, a vanished backend file): that extent must be reported
+    # unrecoverable, not silently truncated away with the index.
     for hostdir in container.hostdirs():
-        for name in sorted(os.listdir(hostdir)):
+        names = sorted(os.listdir(hostdir))
+        present = set(names)
+        for name in names:
             if not name.startswith(constants.INDEX_PREFIX):
                 continue
             data_name = constants.DATA_PREFIX + name[len(constants.INDEX_PREFIX):]
-            if not os.path.exists(os.path.join(hostdir, data_name)):
-                report.act(
-                    "drop-orphan-index",
-                    _rel(container.path, os.path.join(hostdir, name)),
-                    "index dropping has no data dropping",
+            if data_name in present:
+                continue
+            rel_index = _rel(container.path, os.path.join(hostdir, name))
+            covered = _record_coverage(os.path.join(hostdir, name))
+            if covered and QUARANTINE_PREFIX + data_name not in present:
+                report.lose(
+                    f"{covered} byte(s) promised by {rel_index} have no "
+                    "data dropping behind them: the backend lost the data "
+                    "(a lost PUT or vanished dropping), not just records"
                 )
-                if not dry_run:
-                    os.unlink(os.path.join(hostdir, name))
-        # leftover WALs whose data dropping vanished entirely
-        for name in sorted(os.listdir(hostdir)):
+            report.act(
+                "drop-orphan-index",
+                rel_index,
+                f"index dropping ({covered} promised byte(s)) has no data dropping",
+            )
+            if not dry_run:
+                os.unlink(os.path.join(hostdir, name))
+        # leftover WALs whose data dropping vanished entirely: same
+        # verdict logic, but only when no index sibling existed to carry
+        # it above (the WAL is a superset of the flushed index)
+        for name in names:
             if not name.startswith(constants.WAL_PREFIX):
                 continue
             data_name = constants.DATA_PREFIX + name[len(constants.WAL_PREFIX):]
-            if not os.path.exists(os.path.join(hostdir, data_name)):
-                report.act(
-                    "drop-orphan-wal",
-                    _rel(container.path, os.path.join(hostdir, name)),
-                    "write-ahead dropping has no data dropping",
+            if data_name in present:
+                continue
+            rel_wal = _rel(container.path, os.path.join(hostdir, name))
+            index_name = constants.INDEX_PREFIX + name[len(constants.WAL_PREFIX):]
+            covered = _record_coverage(os.path.join(hostdir, name))
+            if (
+                covered
+                and index_name not in present
+                and QUARANTINE_PREFIX + data_name not in present
+            ):
+                report.lose(
+                    f"{covered} byte(s) promised by {rel_wal} have no data "
+                    "dropping behind them: the backend lost the data"
                 )
-                if not dry_run:
-                    os.unlink(os.path.join(hostdir, name))
+            report.act(
+                "drop-orphan-wal",
+                rel_wal,
+                "write-ahead dropping has no data dropping",
+            )
+            if not dry_run:
+                os.unlink(os.path.join(hostdir, name))
 
     # 4. stale openhost markers
     for marker in container.open_writers():
@@ -394,6 +472,14 @@ def fsck(path: str, *, dry_run: bool = False) -> FsckReport:
         invalidate_index_cache(container.path)
         # Repairs changed what readers should see; tell other processes.
         container.bump_generation()
+
+    # 6b. object-store sweep + resync: the repaired container is what
+    # this fsck decided the truth is — push it to the authority and
+    # delete anything stale enough to resurrect later.
+    if store is not None:
+        from repro.plfs.objectstore import fsckx
+
+        fsckx.reconcile_after(store, path, store_root, report, dry_run=dry_run)
 
     # 7. verify
     report.check = plfs_check(path)

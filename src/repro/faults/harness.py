@@ -244,6 +244,68 @@ def run_case(
     return out
 
 
+def run_objectstore_case(
+    path: str,
+    case: FaultCase,
+    schedule: list[WriteOp],
+    *,
+    wal: bool,
+    seed: int = 0,
+    store_root: str | None = None,
+    part_bytes: int | None = None,
+):
+    """Run one *objectstore* matrix case: the schedule executes clean over
+    the tiered object backend, then the fault fires during the tier's
+    upload drain (where every objectstore failure mode lives).  Returns
+    ``(outcome, store, backend)``; fsck — with the store passed along —
+    and the comparison are the caller's job.
+
+    *part_bytes* shrinks the multipart threshold so harness-sized
+    droppings exercise the multipart path; ``case.tier_evict`` arms the
+    post-drain evict-and-restore round trip that exposes a falsely-clean
+    entry.
+    """
+    from repro.plfs import backing
+    from repro.plfs.objectstore import ObjectStore, ObjectStoreBackingStore, TierConfig
+
+    root = os.path.dirname(os.path.abspath(path))
+    store = ObjectStore(store_root or os.path.abspath(path) + ".objects")
+    config = TierConfig(multipart_part_bytes=part_bytes) if part_bytes else TierConfig()
+    backend = ObjectStoreBackingStore(store, root, config)
+
+    previous = backing.install(backend)
+    try:
+        # Clean run: no mid-run syncs, so the drain below uploads every
+        # dropping with deterministic operation numbering.
+        out = run_schedule(
+            path,
+            schedule,
+            wal=wal,
+            wal_batch=case.wal_batch if wal else 1,
+            injector=None,
+            sync_every=None,
+        )
+        injector = FaultInjector([case.spec(case.fire_op or 1)], seed=seed)
+        try:
+            with injector.armed():
+                backend.tier.drain()
+        except InjectedCrash:
+            out.crashed = True
+        except OSError as exc:
+            out.errors.append(exc)
+        out.events = injector.fired()
+    finally:
+        backing.install(previous)
+
+    if case.tier_evict:
+        # Capacity pressure after the (faulted) drain: evict everything
+        # the tier believes is clean, then restore what the store truly
+        # holds — a falsely-clean entry comes back from neither.
+        backend.tier.evict()
+        backend.tier.restore_missing()
+    return out, store, backend
+
+
 def read_back(path: str) -> bytes:
     """The container's full logical content through the PLFS API."""
     fd = plfs.plfs_open(path, os.O_RDONLY)
