@@ -25,6 +25,7 @@ problems so callers can report all of them at once.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
@@ -209,4 +210,76 @@ def load_all(directory: str) -> dict[str, dict]:
     for name in names:
         if name.startswith("BENCH_") and name.endswith(".json"):
             out[name] = load(os.path.join(directory, name))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# the append-only history (ROADMAP item 3): one line per run, forever
+# ---------------------------------------------------------------------- #
+
+HISTORY_FILENAME = "trajectory.jsonl"
+
+
+def history_dir_for(out_dir: str) -> str:
+    """The history directory paired with a trajectory *out_dir*:
+    ``$REPRO_BENCH_HISTORY`` when set, else the ``history`` sibling of
+    *out_dir* (so ``benchmarks/out`` runs append to
+    ``benchmarks/history`` and scratch-dir test runs stay in scratch)."""
+    env = os.environ.get("REPRO_BENCH_HISTORY", "").strip()
+    if env:
+        return env
+    parent = os.path.dirname(os.path.abspath(out_dir))
+    return os.path.join(parent, "history")
+
+
+def history_line(record: dict, *, timestamp: str | None = None) -> dict:
+    """The compact trajectory line for one record: identity (scenario /
+    config / seed / op-stream digest), a digest of the exact-guarded
+    counters, and the dimensionless derived metrics — enough to plot a
+    perf trajectory across commits without replaying anything."""
+    assert_valid(record)
+    counters_digest = hashlib.sha256(
+        canonical_json(record["counters"]).encode()
+    ).hexdigest()
+    line = {
+        "scenario": record["scenario"],
+        "profile": record["profile"],
+        "config": record["config"],
+        "seed": record["seed"],
+        "op_digest": record.get("op_stream", {}).get("digest", ""),
+        "counters_digest": counters_digest,
+        "normalized": record["derived"].get("normalized", {}),
+        "ratios": record["derived"].get("ratios", {}),
+        "python": record["environment"].get("python", ""),
+    }
+    if timestamp is not None:
+        line["timestamp"] = timestamp
+    return line
+
+
+def append_history(
+    record: dict, history_dir: str, *, timestamp: str | None = None
+) -> str:
+    """Append *record*'s trajectory line to the append-only history file
+    (one JSON object per line; never rewritten); returns the path."""
+    os.makedirs(history_dir, exist_ok=True)
+    path = os.path.join(history_dir, HISTORY_FILENAME)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(history_line(record, timestamp=timestamp), sort_keys=True))
+        fh.write("\n")
+    return path
+
+
+def load_history(history_dir: str) -> list[dict]:
+    """Every line of the append-only history, oldest first."""
+    path = os.path.join(history_dir, HISTORY_FILENAME)
+    out: list[dict] = []
+    try:
+        with open(path) as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if raw:
+                    out.append(json.loads(raw))
+    except OSError:
+        return out
     return out

@@ -25,7 +25,12 @@ Configurations (the ``config`` axis of a BenchRecord):
 
 Execution is deliberately *sequential and deterministic*: the generator
 already interleaves tenants, so every counter in the record reproduces
-exactly under a fixed seed (the determinism tests assert this).  True
+exactly under a fixed seed (the determinism tests assert this).
+``coll_write``/``coll_read`` ops replay whole collective rounds through
+:class:`repro.collective.CollectiveFile`; the engine's aggregator
+threads do run concurrently inside one op, but domain partitioning and
+the post-barrier counter merge are deterministic, so the guarded
+counters still reproduce exactly.  True
 multi-process contention is the daemon stress benchmark's job
 (``benchmarks/test_plfsd.py``); the scenario suite tracks the cost
 trajectory of the op streams themselves.
@@ -118,13 +123,19 @@ class _DirectExecutor:
     """Replays ops through the in-process plfs API, keeping one O_RDWR
     handle per logical file and harvesting fast-lane counters on close."""
 
-    def __init__(self, root: str, config: BenchConfig, seed: int):
+    def __init__(
+        self, root: str, config: BenchConfig, seed: int, params: dict | None = None
+    ):
         self.root = root
         self.config = config
         self.seed = seed
+        self.params = params or {}
         self.handles: dict[str, object] = {}
+        #: collective engines (coll_* ops), one per logical shared file
+        self.engines: dict[str, object] = {}
         self.writer_totals: dict = {}
         self.reader_totals: dict = {}
+        self.collective_totals: dict = {}
 
     def _path(self, file: str) -> str:
         path = os.path.join(self.root, file)
@@ -177,15 +188,61 @@ class _DirectExecutor:
     def fsync(self, op: Op) -> None:
         plfs.plfs_sync(self._handle(op.file))
 
+    # -- collective ops (repro.collective engine, one per shared file) -- #
+
+    def _engine(self, op: Op):
+        eng = self.engines.get(op.file)
+        if eng is None:
+            from repro.collective import CollectiveFile
+            from repro.mpiio.hints import MPIHints
+
+            # tenant name selects the path under test; "inline" exchange
+            # keeps the counters host-independent (no shm availability
+            # dependence in the guarded record)
+            cb = op.tenant != "indep"
+            eng = CollectiveFile(
+                self._path(op.file),
+                nodes=int(self.params.get("nodes", 4)),
+                ppn=int(self.params.get("ppn", 4)),
+                hints=MPIHints(romio_cb_write=cb, romio_cb_read=cb),
+                open_opt=self.config.open_options(),
+                exchange="inline",
+            )
+            eng.set_interleaved(int(self.params.get("record_bytes", 4096)))
+            self.engines[op.file] = eng
+        return eng
+
+    def coll_write(self, op: Op) -> int:
+        eng = self._engine(op)
+        ranks = eng.ranks
+        contribs = {
+            r: payload(
+                self.seed, op.file, (op.offset * ranks + r) * op.size, op.size
+            )
+            for r in range(ranks)
+        }
+        return eng.write_at_all(contribs)
+
+    def coll_read(self, op: Op) -> int:
+        eng = self._engine(op)
+        got = eng.read_at_all(op.size, position=op.offset * op.size)
+        return sum(len(v) for v in got.values())
+
     def finish(self) -> dict:
         for fd in self.handles.values():
             self._harvest(fd)
             plfs.plfs_close(fd)
         self.handles.clear()
+        for eng in self.engines.values():
+            eng.close()
+            _accumulate(self.writer_totals, eng.writer_stats)
+            _accumulate(self.collective_totals, eng.counters)
+        self.engines.clear()
         return export_runtime_counters(
             cache_stats=shared_cache().stats,
             writer_stats=self.writer_totals,
             reader_stats=self.reader_totals,
+            collective_stats=self.collective_totals or None,
         )
 
 
@@ -386,7 +443,7 @@ def execute_stream(
             raise ValueError("daemon config requires socket_path")
         executor = _DaemonExecutor(root, socket_path, seed)
     else:
-        executor = _DirectExecutor(root, cfg, seed)
+        executor = _DirectExecutor(root, cfg, seed, params)
 
     backend = None
     previous = None
@@ -403,6 +460,8 @@ def execute_stream(
         "write": executor.write,
         "read": executor.read,
         "fsync": executor.fsync,
+        "coll_write": getattr(executor, "coll_write", None),
+        "coll_read": getattr(executor, "coll_read", None),
     }
     by_kind: dict[str, int] = {}
     bytes_read = 0
@@ -421,10 +480,17 @@ def execute_stream(
                     root, op, int(params.get("ops_per_cycle", 18)), backend=backend
                 )
                 _accumulate(result.counters, deltas)
-            elif op.kind == "read":
-                bytes_read += dispatch["read"](op)
             else:
-                dispatch[op.kind](op)
+                fn = dispatch.get(op.kind)
+                if fn is None:
+                    raise ValueError(
+                        f"op kind {op.kind!r} is not supported by the "
+                        f"{cfg.name} config"
+                    )
+                if op.kind in ("read", "coll_read"):
+                    bytes_read += fn(op)
+                else:
+                    fn(op)
             result.latencies.setdefault((op.tenant, op.kind), []).append(
                 time.perf_counter() - t0
             )

@@ -26,6 +26,11 @@ The four production shapes (ROADMAP item 4):
     Seeded crash/recovery cycles: each cycle runs a faulted write
     schedule (reusing :mod:`repro.faults`), fscks the container, rereads
     it and verifies the recovery invariant.
+``collective_io``
+    The §II optimisation comparison with real bytes: the same strided
+    shared-file rounds replayed by a ``cb`` tenant (two-phase collective
+    buffering) and an ``indep`` tenant (per-rank list I/O), so the
+    per-tenant latency ratio tracks the aggregation win.
 """
 
 from __future__ import annotations
@@ -40,7 +45,15 @@ from typing import Callable
 DEFAULT_SEED = 1337
 
 #: op kinds the runner understands
-KINDS = ("create", "write", "read", "fsync", "crash_cycle")
+KINDS = (
+    "create",
+    "write",
+    "read",
+    "fsync",
+    "crash_cycle",
+    "coll_write",
+    "coll_read",
+)
 
 #: fault arms a crash_soak cycle rotates through: (point, behavior, wal)
 SOAK_ARMS: tuple[tuple[str, str, bool], ...] = (
@@ -105,9 +118,9 @@ def stream_summary(ops: list[Op]) -> dict:
         by_kind[op.kind] = by_kind.get(op.kind, 0) + 1
         files.add(op.file)
         tenants.add(op.tenant)
-        if op.kind in ("create", "write"):
+        if op.kind in ("create", "write", "coll_write"):
             written += op.size
-        elif op.kind == "read":
+        elif op.kind in ("read", "coll_read"):
             read += op.size
     return {
         "ops": len(ops),
@@ -255,6 +268,42 @@ def gen_multi_tenant(
     return ops
 
 
+def gen_collective_io(
+    seed: int,
+    *,
+    nodes: int = 4,
+    ppn: int = 4,
+    rounds: int = 3,
+    per_rank_bytes: int = 262144,
+    record_bytes: int = 4096,
+    read_rounds: int = 1,
+) -> list[Op]:
+    """Two tenants replay the *same* strided shared-file workload:
+    every rank contributes ``per_rank_bytes`` per round through an
+    interleaved ``record_bytes`` file view — the ``cb`` tenant down the
+    two-phase collective engine, the ``indep`` tenant down per-rank
+    list I/O (``romio_cb_write=false``).  One ``coll_write`` op is one
+    whole collective round (``offset`` carries the round index, ``size``
+    the per-rank contribution); ``nodes``/``ppn``/``record_bytes`` ride
+    into the runner's engine parameters.  With exactly two tenants the
+    derived ``cb_p50_over_indep_p50`` ratio *is* the aggregation win,
+    guarded like any other trajectory metric.  Each round's contribution
+    is jittered by a seeded whole-record amount — identically for both
+    tenants, so the pairing stays a fair comparison while the stream
+    (and its digest) is a function of the seed like every scenario."""
+    rng = random.Random(seed)
+    ops: list[Op] = []
+    for rnd in range(rounds):
+        size = per_rank_bytes + rng.randrange(0, 8) * record_bytes
+        for tenant in ("cb", "indep"):
+            ops.append(Op(tenant, "coll_write", f"coll/{tenant}", rnd, size))
+    for rnd in range(read_rounds):
+        size = per_rank_bytes + rng.randrange(0, 8) * record_bytes
+        for tenant in ("cb", "indep"):
+            ops.append(Op(tenant, "coll_read", f"coll/{tenant}", rnd, size))
+    return ops
+
+
 def gen_crash_soak(
     seed: int,
     *,
@@ -344,6 +393,30 @@ SCENARIOS: dict[str, Scenario] = {
                     storm_files=256, stream_chunks=256, stream_chunk_bytes=262144
                 ),
             },
+        ),
+        Scenario(
+            "collective_io",
+            "two-phase collective buffering vs independent strided list I/O",
+            gen_collective_io,
+            profiles={
+                "short": dict(
+                    nodes=4,
+                    ppn=4,
+                    rounds=3,
+                    per_rank_bytes=262144,
+                    record_bytes=4096,
+                    read_rounds=1,
+                ),
+                "full": dict(
+                    nodes=4,
+                    ppn=4,
+                    rounds=8,
+                    per_rank_bytes=262144,
+                    record_bytes=4096,
+                    read_rounds=2,
+                ),
+            },
+            configs=("direct",),
         ),
         Scenario(
             "crash_soak",

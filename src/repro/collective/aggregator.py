@@ -1,0 +1,205 @@
+"""Aggregator workers: file domains and phase-2 backend I/O.
+
+ROMIO partitions each collective round's touched file range evenly among
+``cb_nodes`` aggregators (the *file domains*); every member piece is
+routed to the aggregator owning its offsets, and each aggregator then
+touches the backend with large contiguous calls in ``cb_buffer_size``
+chunks.  On the PLFS path phase 2 is deliberately a single vectored
+append per contiguous run: one ``plfs_writev`` produces one data append
+and one (merged) index record no matter how many member pieces the run
+coalesced — the aggregation ratio the insights counters track.
+
+An :class:`Aggregator` owns its *own* plfs handle (local ``Plfs_fd`` or
+plfsd-backed ``RemoteFd``) and its *own* counter dict: aggregators run
+concurrently on worker threads, so shared mutable state stops at the
+engine, which merges each worker's counters after the phase-2 barrier.
+Deliveries are plain ``(file_offset, view)`` tuples — one lands per
+member extent per round, so this path stays allocation-light.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.plfs import api as plfs_api
+
+from .datatype import Extent
+
+
+def partition_domains(lo: int, hi: int, count: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi)`` into *count* contiguous, near-even file domains
+    (ROMIO's file-domain assignment for one round)."""
+    if hi <= lo:
+        return [(lo, lo)] * count
+    span = hi - lo
+    bounds = [lo + (span * i) // count for i in range(count)] + [hi]
+    return [(bounds[i], bounds[i + 1]) for i in range(count)]
+
+
+def split_extent(
+    extent: Extent, domains: list[tuple[int, int]], starts: list[int] | None = None
+) -> list[tuple[int, Extent]]:
+    """Cut one extent along domain boundaries -> ``(domain_idx, piece)``.
+
+    *starts* is the precomputed list of domain start offsets (the engine
+    passes it so routing a whole round bisects one shared list).  The
+    overwhelmingly common case — the extent lives inside one domain —
+    returns the extent itself, unsplit and unallocated.
+    """
+    if starts is None:
+        starts = [d[0] for d in domains]
+    idx = max(0, bisect_right(starts, extent.file_offset) - 1)
+    if extent.file_end <= domains[idx][1] or idx == len(domains) - 1:
+        return [(idx, extent)]
+    out: list[tuple[int, Extent]] = []
+    pos = extent.file_offset
+    end = extent.file_end
+    while pos < end and idx < len(domains):
+        d_hi = domains[idx][1]
+        take = (min(end, d_hi) if idx < len(domains) - 1 else end) - pos
+        if take > 0:
+            out.append(
+                (
+                    idx,
+                    Extent(pos, extent.buf_offset + (pos - extent.file_offset), take),
+                )
+            )
+            pos += take
+        idx += 1
+    return out
+
+
+class Aggregator:
+    """One file-domain owner: collects a round's pieces, flushes phase 2."""
+
+    def __init__(self, index: int, fd, *, cb_buffer_size: int):
+        self.index = index
+        self.fd = fd
+        self.cb_buffer_size = max(1, int(cb_buffer_size))
+        self.stats: dict[str, int] = {}
+        self._pieces: list[tuple[int, memoryview]] = []
+
+    def deliver(self, file_offset: int, view: memoryview) -> None:
+        self._pieces.append((file_offset, view))
+
+    def _bump(self, key: str, delta: int) -> None:
+        self.stats[key] = self.stats.get(key, 0) + delta
+
+    # ------------------------------------------------------------------ #
+    # phase 2: writes
+    # ------------------------------------------------------------------ #
+
+    def flush_writes(self) -> int:
+        """Issue this round's backend writes; returns bytes written.
+
+        Pieces are sorted into file order, grouped into file-contiguous
+        runs, and each run goes down as vectored appends of at most
+        ``cb_buffer_size`` bytes — one ``plfs_writev`` per chunk.
+        """
+        if not self._pieces:
+            return 0
+        pieces = sorted(self._pieces, key=lambda p: p[0])
+        self._pieces = []
+        fd = self.fd
+        limit = self.cb_buffer_size
+        total = 0
+        calls = 0
+        i = 0
+        n = len(pieces)
+        while i < n:
+            chunk: list[memoryview] = []
+            chunk_bytes = 0
+            chunk_off = pieces[i][0]
+            expected = chunk_off
+            while i < n and pieces[i][0] == expected:
+                view = pieces[i][1]
+                i += 1
+                vlen = len(view)
+                expected += vlen
+                if chunk_bytes + vlen < limit:
+                    # fast path: whole piece fits under the chunk budget
+                    chunk.append(view)
+                    chunk_bytes += vlen
+                    continue
+                pos = 0
+                while pos < vlen:
+                    take = min(limit - chunk_bytes, vlen - pos)
+                    chunk.append(view if take == vlen and not pos else view[pos : pos + take])
+                    chunk_bytes += take
+                    pos += take
+                    if chunk_bytes >= limit:
+                        total += plfs_api.plfs_writev(fd, chunk, chunk_off)
+                        calls += 1
+                        chunk_off += chunk_bytes
+                        chunk = []
+                        chunk_bytes = 0
+            if chunk:
+                total += plfs_api.plfs_writev(fd, chunk, chunk_off)
+                calls += 1
+        self._bump("cb_backend_writes", calls)
+        self._bump("cb_backend_write_bytes", total)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # phase 2: reads
+    # ------------------------------------------------------------------ #
+
+    def serve_reads(self, requests: list[tuple[object, Extent]]) -> list[tuple[object, bytes]]:
+        """Serve tagged read extents with coalesced backend reads.
+
+        *requests* is ``(tag, extent)`` where the extent's file span is
+        what the member wants; the return pairs each tag with its bytes
+        (zero-filled past EOF).  Overlapping requests are legal for
+        reads: each file-contiguous stretch is read once per run and
+        every request slices from it.
+        """
+        if not requests:
+            return []
+        ordered = sorted(enumerate(requests), key=lambda t: t[1][1].file_offset)
+        out: list = [None] * len(requests)
+        calls = 0
+        read_bytes = 0
+        run_start = None
+        run_end = None
+        run_members: list[tuple[int, object, Extent]] = []
+
+        def flush_run() -> None:
+            nonlocal calls, read_bytes
+            if run_start is None:
+                return
+            pos = run_start
+            while pos < run_end:
+                take = min(self.cb_buffer_size, run_end - pos)
+                block = plfs_api.plfs_read(self.fd, take, pos)
+                calls += 1
+                read_bytes += len(block)
+                for slot, tag, e in run_members:
+                    lo = max(e.file_offset, pos)
+                    hi = min(e.file_end, pos + take)
+                    if lo >= hi:
+                        continue
+                    piece = (
+                        bytearray(out[slot][1])
+                        if out[slot] is not None
+                        else bytearray(e.length)
+                    )
+                    data = block[lo - pos : hi - pos]
+                    piece[lo - e.file_offset : lo - e.file_offset + len(data)] = data
+                    out[slot] = (tag, bytes(piece))
+                pos += take
+            for slot, tag, e in run_members:
+                if out[slot] is None:
+                    out[slot] = (tag, bytes(e.length))
+
+        for slot, (tag, e) in ordered:
+            if run_start is not None and e.file_offset <= run_end:
+                run_end = max(run_end, e.file_end)
+                run_members.append((slot, tag, e))
+                continue
+            flush_run()
+            run_start, run_end = e.file_offset, e.file_end
+            run_members = [(slot, tag, e)]
+        flush_run()
+        self._bump("cb_backend_reads", calls)
+        self._bump("cb_backend_read_bytes", read_bytes)
+        return out

@@ -1,0 +1,96 @@
+"""The phase-1 exchange plane: member payloads -> aggregator inboxes.
+
+In ROMIO's two-phase engine, phase 1 moves each rank's noncontiguous
+pieces to the aggregator that owns their file domain; phase 2 is the
+aggregator's large contiguous backend access.  Here the member ranks and
+aggregator workers share a process (threads) or a machine (plfsd-backed
+workers), so the exchange is a memory plane, not a network:
+
+inline handoff
+    Zero-copy pass-through of the member's buffer slice.  Safe because
+    ``write_at_all`` is collective: the member blocks at the phase-2
+    barrier, so its buffer outlives the aggregator's use of it.
+
+shm staging
+    Payloads at or above the plfsd threshold are staged into a
+    :class:`~repro.plfsd.shm.SegmentPool` slot — the *same* slotted
+    data plane the plfsd client uses for large appends — and the
+    aggregator reads a zero-copy window over the segment.  This is the
+    transport a cross-process (plfsd-backed) aggregator needs, and the
+    ``auto`` mode exercises it whenever a slot is free, falling back
+    inline when the pool is exhausted or shared memory is unavailable.
+
+Slots recycle at the round barrier (:meth:`ExchangePlane.round_complete`)
+— by then phase 2 has consumed every staged view, the same
+provably-done-with-the-pages ordering contract the plfsd client gets
+from its strictly-ordered replies.
+
+:meth:`ExchangePlane.post` is the per-piece hot path (one call per
+member extent per round), so it takes an already-``"B"``-cast memoryview
+and returns a plain view; counters are integers assembled into a dict
+only when :attr:`stats` is read.
+"""
+
+from __future__ import annotations
+
+from repro.plfsd.shm import SHM_THRESHOLD, SegmentPool, try_create_pool
+
+
+class ExchangePlane:
+    """Phase-1 transport with plfsd-plane shm staging and inline fallback."""
+
+    def __init__(self, mode: str = "auto", *, threshold: int = SHM_THRESHOLD):
+        if mode not in ("auto", "inline", "shm"):
+            raise ValueError(f"unknown exchange mode {mode!r}")
+        self.mode = mode
+        self.threshold = threshold
+        self.pool: SegmentPool | None = None
+        if mode in ("auto", "shm"):
+            self.pool = try_create_pool()
+            if self.pool is None and mode == "shm":
+                raise OSError("shared memory unavailable for exchange='shm'")
+        self._staged: list[int] = []
+        self._messages = 0
+        self._bytes = 0
+        self._shm_bytes = 0
+
+    def post(self, view: memoryview) -> memoryview:
+        """Hand one member piece (a ``"B"`` memoryview) to the plane; the
+        returned view is valid until :meth:`round_complete`."""
+        n = len(view)
+        self._messages += 1
+        self._bytes += n
+        pool = self.pool
+        if (
+            pool is not None
+            and n >= self.threshold
+            and n <= pool.slot_bytes
+            and pool.available
+        ):
+            slot, base, taken = pool.stage(view)
+            self._staged.append(slot)
+            self._shm_bytes += taken
+            return pool.view(base, taken)
+        return view
+
+    def round_complete(self) -> None:
+        """The phase barrier: every staged slot is consumed; recycle."""
+        if self.pool is not None:
+            for slot in self._staged:
+                self.pool.release(slot)
+        self._staged.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "exchange_messages": self._messages,
+            "exchange_bytes": self._bytes,
+            "exchange_shm_bytes": self._shm_bytes,
+            "exchange_inline_bytes": self._bytes - self._shm_bytes,
+        }
+
+    def close(self) -> None:
+        self.round_complete()
+        if self.pool is not None:
+            pool, self.pool = self.pool, None
+            pool.destroy()

@@ -448,7 +448,17 @@ class Shim:
         # The buffers cover one contiguous logical span, so a single
         # plfs_read (which the read path can coalesce into few preads)
         # then scattering into the views beats one plfs_read per buffer.
-        views = [memoryview(buf) for buf in buffers]
+        # Like _writev_at, non-byte buffers (array('i'), numpy views) are
+        # cast to "B" so lengths count bytes; read targets must be filled
+        # in place, so a non-contiguous view cannot fall back to a
+        # tobytes() copy and the cast raises — the same contract os.readv
+        # has.
+        views = []
+        for buf in buffers:
+            v = memoryview(buf)
+            if v.itemsize != 1:
+                v = v.cast("B")
+            views.append(v)
         want = sum(len(v) for v in views)
         if not want:
             return 0
@@ -460,7 +470,7 @@ class Shim:
             pos += len(chunk)
             if len(chunk) < len(view):
                 break
-        return len(data)
+        return pos
 
     def _writev_at(self, entry, buffers, offset) -> int:
         # Mirror of _readv_at: the buffers cover one contiguous logical
@@ -580,6 +590,14 @@ class Shim:
     # ------------------------------------------------------------------ #
     # fd metadata
     # ------------------------------------------------------------------ #
+
+    def plfs_handle(self, fd):
+        """The underlying PLFS handle for a shimmed fd, or ``None`` if the
+        fd is pass-through.  Lets layered engines (e.g. the collective
+        buffering path) take a shim-opened file onto the native PLFS API
+        without reopening the container."""
+        entry = self.table.lookup(fd)
+        return None if entry is None else entry.plfs_fd
 
     def fstat(self, fd):
         entry = self.table.lookup(fd)

@@ -169,6 +169,17 @@ class PlfsContainerSim:
     def read_own(self, client: PosixClient, nbytes: float) -> Generator:
         """Process: plfs_read of data this rank wrote (N-N read-back, the
         pattern the paper's read benchmarks use) — a sequential scan of the
-        rank's own dropping."""
-        state = self._writers[(client.node, client.proc)]
+        rank's own dropping.
+
+        Collective writes leave droppings only on the aggregators, so an
+        independent read (``romio_cb_read=false``) from a non-writer rank
+        scans the dropping holding its node's bytes — its node aggregator's,
+        falling back to any dropping for a fully remote layout."""
+        state = self._writers.get((client.node, client.proc))
+        if state is None:
+            state = self._writers.get((client.node, 0)) or next(
+                iter(self._writers.values()), None
+            )
+        if state is None:
+            return
         yield from client.read_stream(state.data, nbytes, sequential=True)

@@ -125,6 +125,23 @@ class IORunProfile:
     write_vectored_appends: int = 0
     write_zero_copy_appends: int = 0
 
+    # collective-buffering / noncontiguous evidence (repro.collective
+    # engine counters: the real-path twin of the simulated two-phase cost
+    # model above — `collective`/`strided_independent` describe what the
+    # workload asked for, these describe what the engine actually did)
+    cb_rounds: int = 0
+    cb_member_extents: int = 0
+    cb_backend_writes: int = 0
+    cb_backend_reads: int = 0
+    cb_exchange_bytes: float = 0.0
+    cb_exchange_shm_bytes: float = 0.0
+    #: member extents per backend access (the two-phase win: high means
+    #: many small pieces rode down in few large calls)
+    cb_aggregation_ratio: float = 0.0
+    listio_runs: int = 0
+    ds_sieve_hits: int = 0
+    ds_sieve_read_bytes: float = 0.0
+
     # daemon evidence (repro.plfsd server accounting: the shared-service
     # analogue of the dedicated-MDS counters above)
     daemon_clients: int = 0
@@ -215,6 +232,16 @@ class IORunProfile:
             "wal_batches": self.wal_batches,
             "write_vectored_appends": self.write_vectored_appends,
             "write_zero_copy_appends": self.write_zero_copy_appends,
+            "cb_rounds": self.cb_rounds,
+            "cb_member_extents": self.cb_member_extents,
+            "cb_backend_writes": self.cb_backend_writes,
+            "cb_backend_reads": self.cb_backend_reads,
+            "cb_exchange_bytes": self.cb_exchange_bytes,
+            "cb_exchange_shm_bytes": self.cb_exchange_shm_bytes,
+            "cb_aggregation_ratio": self.cb_aggregation_ratio,
+            "listio_runs": self.listio_runs,
+            "ds_sieve_hits": self.ds_sieve_hits,
+            "ds_sieve_read_bytes": self.ds_sieve_read_bytes,
             "daemon_clients": self.daemon_clients,
             "daemon_opens": self.daemon_opens,
             "daemon_creates": self.daemon_creates,
@@ -356,12 +383,64 @@ def attach_daemon_evidence(
     return profile
 
 
+def _cb_aggregation_ratio(stats: dict) -> float:
+    accesses = int(stats.get("cb_backend_writes", 0)) + int(
+        stats.get("cb_backend_reads", 0)
+    )
+    if accesses <= 0:
+        return 0.0
+    return int(stats.get("cb_member_extents", 0)) / accesses
+
+
+def attach_collective_evidence(
+    profile: IORunProfile,
+    *,
+    collective_stats: dict | None = None,
+) -> IORunProfile:
+    """Fold real-path collective engine counters into *profile* (returns it).
+
+    *collective_stats* is a :attr:`repro.collective.CollectiveFile.counters`
+    snapshot: two-phase exchange/aggregation counts plus the independent
+    list-I/O and data-sieving counters.  Decoupled like the other evidence
+    hooks: insights consumes a plain dict, never an engine.
+    """
+    if collective_stats:
+        profile.cb_rounds += int(collective_stats.get("cb_rounds", 0))
+        profile.cb_member_extents += int(
+            collective_stats.get("cb_member_extents", 0)
+        )
+        profile.cb_backend_writes += int(
+            collective_stats.get("cb_backend_writes", 0)
+        )
+        profile.cb_backend_reads += int(collective_stats.get("cb_backend_reads", 0))
+        profile.cb_exchange_bytes += float(
+            collective_stats.get("exchange_bytes", 0)
+        )
+        profile.cb_exchange_shm_bytes += float(
+            collective_stats.get("exchange_shm_bytes", 0)
+        )
+        profile.cb_aggregation_ratio = _cb_aggregation_ratio(
+            {
+                "cb_member_extents": profile.cb_member_extents,
+                "cb_backend_writes": profile.cb_backend_writes,
+                "cb_backend_reads": profile.cb_backend_reads,
+            }
+        )
+        profile.listio_runs += int(collective_stats.get("listio_runs", 0))
+        profile.ds_sieve_hits += int(collective_stats.get("sieve_hits", 0))
+        profile.ds_sieve_read_bytes += float(
+            collective_stats.get("sieve_read_bytes", 0)
+        )
+    return profile
+
+
 def export_runtime_counters(
     *,
     cache_stats: dict | None = None,
     writer_stats: dict | None = None,
     reader_stats: dict | None = None,
     server_stats: dict | None = None,
+    collective_stats: dict | None = None,
 ) -> dict:
     """Flatten fast-lane counter dicts into one namespaced counter set.
 
@@ -409,6 +488,27 @@ def export_runtime_counters(
         out["daemon_reads"] = int(agg.get("reads", 0))
         out["daemon_bytes_written"] = int(agg.get("bytes_written", 0))
         out["daemon_bytes_read"] = int(agg.get("bytes_read", 0))
+    if collective_stats:
+        out["cb_rounds"] = int(collective_stats.get("cb_rounds", 0))
+        out["cb_member_extents"] = int(collective_stats.get("cb_member_extents", 0))
+        out["cb_backend_writes"] = int(collective_stats.get("cb_backend_writes", 0))
+        out["cb_backend_reads"] = int(collective_stats.get("cb_backend_reads", 0))
+        out["cb_exchange_messages"] = int(
+            collective_stats.get("exchange_messages", 0)
+        )
+        out["cb_exchange_bytes"] = int(collective_stats.get("exchange_bytes", 0))
+        out["cb_exchange_shm_bytes"] = int(
+            collective_stats.get("exchange_shm_bytes", 0)
+        )
+        out["listio_runs"] = int(collective_stats.get("listio_runs", 0))
+        out["listio_backend_calls"] = int(
+            collective_stats.get("listio_backend_calls", 0)
+        )
+        out["ds_sieve_hits"] = int(collective_stats.get("sieve_hits", 0))
+        out["ds_sieve_read_bytes"] = int(collective_stats.get("sieve_read_bytes", 0))
+        ratio = _cb_aggregation_ratio(collective_stats)
+        if ratio:
+            out["cb_aggregation_ratio"] = ratio
     return out
 
 

@@ -251,14 +251,32 @@ class MPIIOSimFile:
         yield self.env.timeout(scatter)
 
     def read_at_all(self, bytes_per_rank: float, *, offset: float = 0.0) -> Generator:
-        """Process: one collective read step."""
+        """Process: one collective read step.  Honors the same hints as
+        :meth:`write_at_all`: with ``romio_cb_read`` off every rank reads
+        its own piece independently; otherwise the ``cb_nodes`` aggregator
+        set reads node-group-contiguous blocks and scatters."""
         yield self.env.timeout(self.comm.barrier_cost() + self.perf.mpi_call_overhead)
         procs = []
         pos = offset
-        for agg in self.comm.aggregators():
-            node_bytes = bytes_per_rank * len(self.comm.ranks_on_node(agg.node))
-            procs.append(self.env.process(self._aggregator_read(agg, node_bytes, pos)))
-            pos += node_bytes
+        if not self.hints.romio_cb_read:
+            for rank in self.comm.ranks:
+                procs.append(
+                    self.env.process(
+                        self._backend_read(
+                            self.client(rank),
+                            offset + rank.rank * bytes_per_rank,
+                            bytes_per_rank,
+                        )
+                    )
+                )
+        else:
+            per_node_bytes = bytes_per_rank * self.comm.ppn
+            for agg, covered in self._cb_aggregators():
+                group_bytes = per_node_bytes * covered
+                procs.append(
+                    self.env.process(self._aggregator_read(agg, group_bytes, pos))
+                )
+                pos += group_bytes
         yield self.env.all_of(procs)
         yield self.env.timeout(self.comm.barrier_cost())
 

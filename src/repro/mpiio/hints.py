@@ -10,10 +10,12 @@ standard ROMIO hint set so those claims can be studied:
   default: one per compute node);
 - ``cb_buffer_size`` — each aggregator writes its collected data in
   chunks of this size (ROMIO default 16 MB);
-- ``romio_cb_write`` — enable/disable two-phase collective writes
-  (disabled = every rank writes its own piece independently);
-- ``romio_ds_write`` — data sieving for non-contiguous independent
-  writes (read the covering extent, modify, write back one block).
+- ``romio_cb_write`` / ``romio_cb_read`` — enable/disable two-phase
+  collective buffering per direction (disabled = every rank moves its
+  own piece independently);
+- ``romio_ds_write`` / ``romio_ds_read`` — data sieving for
+  non-contiguous independent access (read the covering extent, modify,
+  write back one block / read one covering extent and scatter).
 """
 
 from __future__ import annotations
@@ -31,10 +33,14 @@ class MPIHints:
     cb_nodes: int | None = None
     #: aggregator write granularity, bytes
     cb_buffer_size: float = 16 * MB
-    #: two-phase collective buffering on collective calls
+    #: two-phase collective buffering on collective writes
     romio_cb_write: bool = True
     #: data sieving on strided independent writes
     romio_ds_write: bool = False
+    #: two-phase collective buffering on collective reads
+    romio_cb_read: bool = True
+    #: data sieving on strided independent reads
+    romio_ds_read: bool = False
 
     def __post_init__(self):
         if self.cb_nodes is not None and self.cb_nodes < 1:

@@ -277,12 +277,18 @@ def plfs_writev(fd: Plfs_fd, buffers, offset: int = 0, pid: int | None = None) -
     """Vectored write: *buffers* land contiguously from *offset* as one
     data append plus one (possibly merged) index record — the
     ``writev``/``pwritev`` fast path.  Returns total bytes written."""
-    if _remote(fd):
-        return fd.writev(buffers, offset)
-    if fd.writer is None:
-        raise BadFlagsError("handle not open for writing")
+    # Normalise and drop empty views *before* dispatching, so the remote
+    # (plfsd) branch sees exactly what the local writer would: an all-empty
+    # iovec returns 0 on both paths without a wire round trip (the raw
+    # forward used to ship zero-length pieces to the daemon).
     views = [_as_buffer(b) for b in buffers]
     views = [v for v in views if len(v)]
+    if _remote(fd):
+        if not views:
+            return 0
+        return fd.writev(views, offset)
+    if fd.writer is None:
+        raise BadFlagsError("handle not open for writing")
     if not views:
         return 0
     n = fd.writer.append_many(views, offset, fd.pid if pid is None else pid)

@@ -37,13 +37,12 @@ _ACCMODE = os.O_RDONLY | os.O_WRONLY | os.O_RDWR
 #: gives the direct path).
 MAX_WIRE_WRITE = proto.MAX_FRAME - 4096
 
-#: Shared-memory data plane geometry.  Appends at or above the threshold
-#: park their payload in a client-owned shm segment of SHM_SLOTS slots and
-#: send only a descriptor — large writes never cross the socket.  Below
-#: the threshold the bookkeeping costs more than the wire copy saves.
-SHM_SLOT_BYTES = 1 << 20
-SHM_SLOTS = 16
-SHM_THRESHOLD = 256 * 1024
+# Shared-memory data plane geometry (shared with the collective exchange
+# plane — see repro.plfsd.shm).  Appends at or above the threshold park
+# their payload in a client-owned shm segment of SHM_SLOTS slots and send
+# only a descriptor — large writes never cross the socket.  Below the
+# threshold the bookkeeping costs more than the wire copy saves.
+from .shm import SHM_SLOT_BYTES, SHM_SLOTS, SHM_THRESHOLD, try_create_pool
 
 
 class PlfsdUnavailable(ConnectionError):
@@ -84,7 +83,6 @@ class PlfsdClient:
         self._closed = False
         self._shm = None
         self._shm_failed = False
-        self._shm_free: deque[int] = deque()
 
     # ------------------------------------------------------------------ #
 
@@ -136,13 +134,8 @@ class PlfsdClient:
         """
         if self._shm is not None or self._shm_failed:
             return
-        try:
-            from multiprocessing import shared_memory
-
-            seg = shared_memory.SharedMemory(
-                create=True, size=SHM_SLOT_BYTES * SHM_SLOTS
-            )
-        except (ImportError, OSError):
+        seg = try_create_pool()
+        if seg is None:
             self._shm_failed = True
             return
         rid = self._next_id
@@ -175,7 +168,6 @@ class PlfsdClient:
             self._shm_failed = True
             return
         self._shm = seg
-        self._shm_free = deque(range(SHM_SLOTS))
 
     # ------------------------------------------------------------------ #
     # session
@@ -319,7 +311,7 @@ class PlfsdClient:
                 )
             slot = slot_of.pop(rid, None)
             if slot is not None:
-                self._shm_free.append(slot)
+                self._shm.release(slot)
             if not reply.ok:
                 try:
                     proto.raise_remote(reply)
@@ -350,18 +342,16 @@ class PlfsdClient:
                                 collect_one()
                             self._attach_shm_locked()
                         if self._shm is not None:
-                            while not self._shm_free and inflight:
+                            while not self._shm.available and inflight:
                                 collect_one()
-                            if self._shm_free:
+                            if self._shm.available:
                                 use_shm = True
-                                take = min(take, SHM_SLOT_BYTES)
+                                take = min(take, self._shm.slot_bytes)
                     piece = view[start : start + take]
                     rid = self._next_id
                     self._next_id += 1
                     if use_shm:
-                        slot = self._shm_free.popleft()
-                        base = slot * SHM_SLOT_BYTES
-                        self._shm.buf[base : base + take] = piece
+                        slot, base, _staged = self._shm.stage(piece)
                         frame = proto.encode_request(
                             proto.OP_WRITE_SHM,
                             rid,

@@ -21,6 +21,14 @@ TINY = {
     "hot_cold_mix": {"hot_files": 2, "cold_files": 4, "ops": 48},
     "multi_tenant": {"storm_files": 6, "stream_chunks": 8, "stream_chunk_bytes": 4096},
     "crash_soak": {"cycles": 2, "ops_per_cycle": 8},
+    "collective_io": {
+        "nodes": 2,
+        "ppn": 2,
+        "rounds": 1,
+        "per_rank_bytes": 8192,
+        "record_bytes": 1024,
+        "read_rounds": 1,
+    },
 }
 
 

@@ -1,0 +1,127 @@
+"""Datatype flattening and extent algebra (pure bookkeeping, no I/O)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collective import (
+    ContiguousView,
+    Extent,
+    IrregularView,
+    StridedView,
+    coalesce,
+    covering_runs,
+    file_runs,
+    interleaved_view,
+    partition_domains,
+    split_extent,
+)
+
+
+class TestViews:
+    def test_contiguous(self):
+        v = ContiguousView(displacement=100)
+        assert v.extents(10) == [Extent(100, 0, 10)]
+        assert v.extents(10, position=5) == [Extent(105, 0, 10)]
+        assert v.extents(0) == []
+
+    def test_strided_tiles(self):
+        # rank 1 of 4, 10-byte records: disp 10, stride 40
+        v = StridedView(displacement=10, block=10, stride=40)
+        assert v.extents(25) == [
+            Extent(10, 0, 10),
+            Extent(50, 10, 10),
+            Extent(90, 20, 5),
+        ]
+
+    def test_strided_position_resumes_mid_tile(self):
+        v = StridedView(displacement=0, block=10, stride=30)
+        assert v.extents(10, position=5) == [
+            Extent(5, 0, 5),
+            Extent(30, 5, 5),
+        ]
+
+    def test_strided_rejects_overlapping_tiles(self):
+        with pytest.raises(ValueError):
+            StridedView(displacement=0, block=16, stride=8)
+
+    def test_irregular_cycles(self):
+        v = IrregularView(tiles=((0, 4), (10, 4)), extent=20)
+        assert v.extents(12) == [
+            Extent(0, 0, 4),
+            Extent(10, 4, 4),
+            Extent(20, 8, 4),
+        ]
+
+    def test_interleaved_view_layout(self):
+        views = [interleaved_view(r, 4, 100) for r in range(4)]
+        firsts = [v.extents(100)[0].file_offset for v in views]
+        assert firsts == [0, 100, 200, 300]
+        assert all(v.stride == 400 for v in views)
+        with pytest.raises(ValueError):
+            interleaved_view(4, 4, 100)
+
+
+class TestAlgebra:
+    def test_coalesce_merges_doubly_contiguous(self):
+        parts = [Extent(0, 0, 4), Extent(4, 4, 4), Extent(20, 8, 4)]
+        assert coalesce(parts) == [Extent(0, 0, 8), Extent(20, 8, 4)]
+
+    def test_coalesce_keeps_buffer_gaps_apart(self):
+        # file-contiguous but buffer-discontiguous must NOT merge
+        parts = [Extent(0, 0, 4), Extent(4, 10, 4)]
+        assert coalesce(parts) == parts
+
+    def test_file_runs_groups_interleaved_ranks(self):
+        # 2 ranks' tiles interleave into one contiguous file run
+        tiles = [Extent(0, 0, 4), Extent(8, 4, 4), Extent(4, 100, 4)]
+        runs = file_runs(tiles)
+        assert len(runs) == 1
+        off, members = runs[0]
+        assert off == 0
+        assert [m.file_offset for m in members] == [0, 4, 8]
+
+    def test_covering_runs_swallow_bounded_gaps(self):
+        tiles = [Extent(0, 0, 4), Extent(10, 4, 4), Extent(100, 8, 4)]
+        runs = covering_runs(tiles, max_gap=8)
+        assert [(lo, hi) for lo, hi, _ in runs] == [(0, 14), (100, 104)]
+        assert covering_runs(tiles, max_gap=0) == [
+            (0, 4, [tiles[0]]),
+            (10, 14, [tiles[1]]),
+            (100, 104, [tiles[2]]),
+        ]
+
+
+class TestDomains:
+    def test_partition_even_split(self):
+        assert partition_domains(0, 100, 4) == [
+            (0, 25),
+            (25, 50),
+            (50, 75),
+            (75, 100),
+        ]
+
+    def test_partition_empty_span(self):
+        assert partition_domains(10, 10, 2) == [(10, 10), (10, 10)]
+
+    def test_split_extent_single_domain_fast_path(self):
+        domains = partition_domains(0, 100, 4)
+        e = Extent(30, 0, 10)
+        assert split_extent(e, domains) == [(1, e)]
+
+    def test_split_extent_across_boundaries(self):
+        domains = partition_domains(0, 100, 4)
+        pieces = split_extent(Extent(20, 0, 40), domains)
+        assert pieces == [
+            (0, Extent(20, 0, 5)),
+            (1, Extent(25, 5, 25)),
+            (2, Extent(50, 30, 10)),
+        ]
+        # no bytes lost, buffer offsets consecutive
+        assert sum(p.length for _, p in pieces) == 40
+
+    def test_split_extent_overhang_lands_in_last_domain(self):
+        domains = partition_domains(0, 100, 2)
+        assert split_extent(Extent(90, 0, 30), domains) == [
+            (1, Extent(90, 0, 30))
+        ]

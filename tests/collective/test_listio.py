@@ -1,0 +1,86 @@
+"""List I/O and data sieving against real PLFS containers."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.collective import StridedView, list_read, list_write
+from repro.plfs import api as plfs_api
+
+
+@pytest.fixture
+def fd(tmp_path):
+    handle = plfs_api.plfs_open(
+        str(tmp_path / "file"), os.O_CREAT | os.O_RDWR
+    )
+    yield handle
+    plfs_api.plfs_close(handle)
+
+
+def test_strided_roundtrip_one_backend_call_per_run(fd):
+    view = StridedView(displacement=0, block=4, stride=16)
+    stats: dict = {}
+    n = list_write(fd, view, b"AAAABBBBCCCC", stats=stats)
+    assert n == 12
+    assert stats["member_extents"] == 3
+    assert stats["listio_runs"] == 3
+    assert stats["listio_backend_calls"] == 3
+    assert "sieve_hits" not in stats
+
+    got = list_read(fd, view, 12, stats=stats)
+    assert got == b"AAAABBBBCCCC"
+    # the physical layout really is strided
+    assert plfs_api.plfs_read(fd, 4, 16) == b"BBBB"
+
+
+def test_ds_write_sieves_and_preserves_hole_bytes(fd):
+    # pre-existing bytes in the holes must survive the read-modify-write
+    plfs_api.plfs_write(fd, b"x" * 12, 12, 0)
+    view = StridedView(displacement=0, block=4, stride=8)
+    stats: dict = {}
+    n = list_write(fd, view, b"AAAABBBB", ds_write=True, stats=stats)
+    assert n == 8
+    # span 12, data 8, holes 4 -> within the 50% gap budget: one sieve
+    assert stats["sieve_hits"] == 1
+    assert stats["sieve_read_bytes"] == 12
+    assert stats["listio_backend_calls"] == 2
+    assert plfs_api.plfs_read(fd, 12, 0) == b"AAAAxxxxBBBB"
+
+
+def test_ds_write_respects_the_gap_budget(fd):
+    # holes are 75% of the span: sieving would move mostly hole bytes,
+    # so the request must fall back to list I/O
+    view = StridedView(displacement=0, block=4, stride=16)
+    stats: dict = {}
+    list_write(fd, view, b"AAAABBBB", ds_write=True, stats=stats)
+    assert "sieve_hits" not in stats
+    assert stats["listio_runs"] == 2
+
+
+def test_ds_read_one_covering_read(fd):
+    plfs_api.plfs_write(fd, bytes(range(32)), 32, 0)
+    view = StridedView(displacement=0, block=8, stride=16)
+    stats: dict = {}
+    got = list_read(fd, view, 24, ds_read=True, stats=stats)
+    # third tile (32..40) is past EOF: zero-filled, even via the sieve
+    assert got == bytes(range(8)) + bytes(range(16, 24)) + bytes(8)
+    assert stats["sieve_hits"] == 1
+    assert stats["listio_backend_calls"] == 1
+
+
+def test_list_read_zero_fills_past_eof(fd):
+    plfs_api.plfs_write(fd, b"ab", 2, 0)
+    view = StridedView(displacement=0, block=4, stride=8)
+    stats: dict = {}
+    got = list_read(fd, view, 8, stats=stats)
+    assert got == b"ab" + bytes(6)
+
+
+def test_position_resumes_the_view(fd):
+    view = StridedView(displacement=0, block=4, stride=8)
+    list_write(fd, view, b"AAAA")
+    list_write(fd, view, b"BBBB", position=4)
+    assert list_read(fd, view, 8) == b"AAAABBBB"
+    assert plfs_api.plfs_read(fd, 4, 8) == b"BBBB"

@@ -1,0 +1,60 @@
+"""Regression: scatter reads into non-byte buffers (readv/preadv).
+
+``os.readv`` accepts any writable buffer — ``array('i')``, numpy slabs,
+multi-byte memoryviews.  The shim's scatter loop assigned byte strings
+into those views without casting, so a PLFS-backed ``readv`` into an
+``array('i')`` raised ``ValueError: memoryview assignment: lvalue and
+rvalue have different structures`` where the real syscall fills bytes
+regardless of element type.  The return value was also wrong on short
+reads: ``os.readv`` returns bytes *scattered*, which the old code only
+got right when every buffer filled completely.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+import pytest
+
+
+@pytest.fixture
+def f(mnt):
+    return f"{mnt}/itemsize"
+
+
+def test_readv_fills_int_array(interposer, f):
+    values = array("i", range(8))
+    fd = os.open(f, os.O_CREAT | os.O_RDWR)
+    os.write(fd, values.tobytes())
+    os.lseek(fd, 0, os.SEEK_SET)
+    out = array("i", [0] * 8)
+    n = os.readv(fd, [out])
+    os.close(fd)
+    assert n == 8 * values.itemsize
+    assert out == values
+
+
+def test_preadv_scatter_across_mixed_itemsizes(interposer, f):
+    fd = os.open(f, os.O_CREAT | os.O_RDWR)
+    os.write(fd, bytes(range(16)))
+    head = bytearray(4)
+    tail = array("i", [0, 0])
+    n = os.preadv(fd, [head, tail], 2)
+    os.close(fd)
+    assert n == 12
+    assert bytes(head) == bytes([2, 3, 4, 5])
+    assert tail.tobytes() == bytes(range(6, 14))
+
+
+def test_readv_short_read_returns_bytes_scattered(interposer, f):
+    fd = os.open(f, os.O_CREAT | os.O_RDWR)
+    os.write(fd, b"abcdef")
+    os.lseek(fd, 0, os.SEEK_SET)
+    out = array("i", [0, 0, 0])  # 12-byte buffer over a 6-byte file
+    n = os.readv(fd, [out])
+    assert n == 6
+    assert out.tobytes()[:6] == b"abcdef"
+    # the cursor moved by exactly the scattered bytes
+    assert os.lseek(fd, 0, os.SEEK_CUR) == 6
+    os.close(fd)

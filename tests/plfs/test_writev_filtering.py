@@ -1,0 +1,79 @@
+"""Regression: ``plfs_writev`` zero-length handling on both branches.
+
+The local branch normalized and dropped empty iovec entries; the remote
+(plfsd-backed) branch forwarded the raw buffer list untouched, so a
+daemon client paid one wire message per empty view and an all-empty
+iovec produced a zero-byte append request instead of the local branch's
+``return 0``.  Both branches must agree: empty views are dropped before
+transport, and an all-empty iovec is a no-op returning 0.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.plfs import api as plfs_api
+
+
+class _RecordingRemote:
+    """A stand-in for a plfsd RemoteFd: records what reaches the wire."""
+
+    is_remote = True
+
+    def __init__(self):
+        self.calls: list[tuple[list[bytes], int]] = []
+
+    def writev(self, views, offset):
+        self.calls.append(([bytes(v) for v in views], offset))
+        return sum(len(v) for v in views)
+
+
+def test_remote_branch_filters_empty_views():
+    fd = _RecordingRemote()
+    n = plfs_api.plfs_writev(fd, [b"", b"abc", b"", memoryview(b"de"), b""], 7)
+    assert n == 5
+    assert fd.calls == [([b"abc", b"de"], 7)]
+
+
+def test_remote_all_empty_iovec_never_touches_the_wire():
+    fd = _RecordingRemote()
+    assert plfs_api.plfs_writev(fd, [b"", b"", b""], 0) == 0
+    assert plfs_api.plfs_writev(fd, [], 0) == 0
+    assert fd.calls == []
+
+
+def test_remote_views_are_normalized_to_bytes_like(tmp_path):
+    import array
+
+    fd = _RecordingRemote()
+    data = array.array("i", [1, 2, 3])
+    n = plfs_api.plfs_writev(fd, [data, b""], 0)
+    assert n == len(data.tobytes())
+    assert fd.calls == [([data.tobytes()], 0)]
+
+
+def test_local_all_empty_iovec_returns_zero(tmp_path):
+    path = str(tmp_path / "c")
+    fd = plfs_api.plfs_open(path, os.O_CREAT | os.O_RDWR)
+    try:
+        assert plfs_api.plfs_writev(fd, [b"", b""], 0) == 0
+        assert plfs_api.plfs_writev(fd, [], 0) == 0
+        assert plfs_api.plfs_writev(fd, [b"", b"xy", b""], 0) == 2
+        assert plfs_api.plfs_read(fd, 4, 0) == b"xy"
+    finally:
+        plfs_api.plfs_close(fd)
+
+
+def test_local_read_only_handle_still_rejected_before_empty_check(tmp_path):
+    path = str(tmp_path / "c")
+    fd = plfs_api.plfs_open(path, os.O_CREAT | os.O_RDWR)
+    plfs_api.plfs_write(fd, b"seed", 4, 0)
+    plfs_api.plfs_close(fd)
+    ro = plfs_api.plfs_open(path, os.O_RDONLY)
+    try:
+        with pytest.raises(plfs_api.BadFlagsError):
+            plfs_api.plfs_writev(ro, [b""], 0)
+    finally:
+        plfs_api.plfs_close(ro)
